@@ -1,0 +1,65 @@
+"""Ablation: the multi-valued domain correction in Equation 4.
+
+Our posterior adds a ``log(|D_o| - 1)`` offset per vote (the
+discriminative counterpart of spreading error mass uniformly over the
+wrong alternatives; a no-op on binary domains).  This ablation shows it
+matters on the 4-valued Crowd dataset — EM without the correction
+systematically under-weights the claimed values' evidence and loses
+accuracy — while binary Demonstrations is untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EMConfig, EMLearner, build_pair_structure
+from repro.core.inference import map_assignment, pair_scores
+from repro.experiments import format_table
+from repro.fusion import object_value_accuracy
+from repro.optim.objectives import segment_softmax
+
+from conftest import publish
+
+
+def _map_values(dataset, model, domain_correction):
+    structure = build_pair_structure(dataset)
+    scores = pair_scores(
+        structure, model.trust_scores(), domain_correction=domain_correction
+    )
+    probs = segment_softmax(scores, structure.pair_object_pos, structure.n_objects)
+    values = {}
+    for position, obj in enumerate(structure.object_ids):
+        rows = structure.rows_of(position)
+        block = probs[rows.start : rows.stop]
+        values[obj] = structure.pair_values[rows.start + int(np.argmax(block))]
+    return values
+
+
+def test_ablation_domain_correction(benchmark, paper_datasets):
+    def run():
+        rows = []
+        for name in ("crowd", "demos"):
+            dataset = paper_datasets[name]
+            model = EMLearner(EMConfig(use_features=False)).fit(dataset, {})
+            with_corr = object_value_accuracy(
+                _map_values(dataset, model, True), dataset.ground_truth
+            )
+            without = object_value_accuracy(
+                _map_values(dataset, model, False), dataset.ground_truth
+            )
+            rows.append([name, with_corr, without])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["Dataset", "With correction", "Without"],
+        rows,
+        title="Ablation: multi-valued domain correction (unsupervised EM)",
+    )
+    publish("ablation_domain_correction", text)
+
+    by_name = {row[0]: row for row in rows}
+    # Binary demos: the correction is a no-op.
+    assert by_name["demos"][1] == pytest.approx(by_name["demos"][2], abs=1e-9)
+    # 4-valued crowd: the correction must not hurt (it usually helps the
+    # posterior calibration; MAP accuracy stays equal or improves).
+    assert by_name["crowd"][1] >= by_name["crowd"][2] - 1e-9

@@ -1,0 +1,41 @@
+"""Figure 6: lasso path of the Stocks domain features.
+
+The paper's insight: daily usage statistics (bounce rate, time on site)
+predict a web source's accuracy, while "TotalSitesLinkingIn" — a PageRank
+proxy — does not.  The simulator encodes exactly that ground truth, so the
+lasso path must rediscover it: usage features activate early with large
+weights, the PageRank proxy activates late (or with small weight).
+"""
+
+import numpy as np
+
+from repro.experiments import lasso_figure
+
+from conftest import publish
+
+
+def test_figure6_lasso_path_stocks(benchmark, paper_datasets):
+    report = benchmark.pedantic(
+        lambda: lasso_figure(paper_datasets["stocks"], n_penalties=25),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure6_lasso_stocks", report.text)
+
+    path = report.path
+    final = path.final_weights()
+
+    def feature_strength(name):
+        return max(
+            (abs(w) for label, w in final.items() if label.startswith(f"{name}=")),
+            default=0.0,
+        )
+
+    # Usage statistics carry the signal...
+    assert feature_strength("BounceRate") > feature_strength("TotalSitesLinkingIn")
+    assert feature_strength("DailyTimeOnSite") > 0.1
+
+    # ... and the earliest activations come from informative features.
+    order = path.activation_order()
+    early_names = {label.split("=")[0] for label in order[:4]}
+    assert early_names & {"BounceRate", "DailyTimeOnSite"}

@@ -1,0 +1,34 @@
+"""Figure 7: source-quality initialization (unseen sources).
+
+Train SLiMFast on {25, 40, 50, 75}% of the sources and predict the
+accuracy of the held-out sources from their domain features alone.  Paper
+shape: the error decreases as more sources are available, and Crowd is
+predictable even from 25% of workers.
+"""
+
+import pytest
+
+from repro.experiments import figure7
+
+from conftest import FULL_SCALE, publish
+
+SEEDS = (0, 1, 2) if FULL_SCALE else (0, 1)
+
+
+def test_figure7_unseen_source_error(benchmark, paper_datasets):
+    datasets = {k: paper_datasets[k] for k in ("stocks", "demos", "crowd")}
+    curves, text = benchmark.pedantic(
+        lambda: figure7(datasets, fractions=(0.25, 0.40, 0.50, 0.75), seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure7_initialization", text)
+
+    for name, curve in curves.items():
+        # trend: more sources -> no worse predictions
+        assert curve[0.75] <= curve[0.25] + 0.05, name
+        # all errors stay well below the uninformed 0.25-ish baseline
+        assert curve[0.75] < 0.2, name
+
+    # Crowd is reliably predictable even from 25% of workers (paper text).
+    assert curves["crowd"][0.25] < 0.15

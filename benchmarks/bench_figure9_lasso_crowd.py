@@ -1,0 +1,38 @@
+"""Figure 9: lasso path of the Crowd features.
+
+Paper insight: the labor channel a worker is hired through predicts their
+accuracy (channel features activate first), while city and coverage are
+uninformative.  The simulator encodes that structure; the lasso path must
+recover it.
+"""
+
+from repro.experiments import lasso_figure
+
+from conftest import publish
+
+
+def test_figure9_lasso_path_crowd(benchmark, paper_datasets):
+    report = benchmark.pedantic(
+        lambda: lasso_figure(paper_datasets["crowd"], n_penalties=25),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure9_lasso_crowd", report.text)
+
+    path = report.path
+    order = path.activation_order()
+    early_names = [label.split("=")[0] for label in order[:3]]
+
+    # Channel (and possibly country) activate first; city never leads.
+    assert "channel" in early_names
+    assert early_names[0] != "city"
+
+    final = path.final_weights()
+    channel_strength = max(
+        abs(w) for label, w in final.items() if label.startswith("channel=")
+    )
+    city_strength = max(
+        (abs(w) for label, w in final.items() if label.startswith("city=")),
+        default=0.0,
+    )
+    assert channel_strength > city_strength

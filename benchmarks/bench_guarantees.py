@@ -1,0 +1,98 @@
+"""Theory vs measurement: do the Section 4 rates hold empirically?
+
+Two checks:
+
+* **Theorem 2 rate** — the source-accuracy estimation error of ERM should
+  fall roughly like ``1/sqrt(|G|)`` as ground truth grows.  We fit ERM on
+  geometrically growing label budgets and verify the measured error decays
+  accordingly (ratio test between budget quadruplings).
+* **Empirical Rademacher complexity** — the Monte-Carlo estimate on the
+  actual design rows should follow the ``sqrt(|K|/n)`` scaling the
+  Appendix A bounds assume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ERMConfig, ERMLearner, empirical_rademacher_linear
+from repro.data import SyntheticConfig, generate
+from repro.experiments import format_table
+from repro.fusion import mean_accuracy_kl
+
+from conftest import publish
+
+
+def test_guarantee_theorem2_rate(benchmark):
+    instance = generate(
+        SyntheticConfig(
+            n_sources=120,
+            n_objects=2000,
+            density=0.05,
+            avg_accuracy=0.7,
+            accuracy_spread=0.15,
+            seed=0,
+        )
+    )
+    dataset = instance.dataset
+    true_accuracies = {
+        source: dataset.true_accuracies[source] for source in dataset.sources
+    }
+
+    def run():
+        rows = []
+        for fraction in (0.02, 0.08, 0.32):
+            errors = []
+            for seed in (0, 1, 2):
+                split = dataset.split(fraction, seed=seed)
+                model = ERMLearner(ERMConfig(use_features=False)).fit(
+                    dataset, split.train_truth
+                )
+                errors.append(
+                    mean_accuracy_kl(model.accuracy_map(), true_accuracies)
+                )
+            n_labels = int(round(fraction * dataset.n_objects))
+            rows.append([n_labels, float(np.mean(errors))])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["|G| (labels)", "mean KL(A_s || A*_s)"],
+        rows,
+        title="Theorem 2 check: ERM accuracy error vs ground-truth size",
+    )
+    publish("guarantee_theorem2_rate", text)
+
+    errors = [error for _, error in rows]
+    # Error must decrease with |G| ...
+    assert errors[2] < errors[0]
+    # ... and a 16x label increase should cut the KL error by at least 2x
+    # (the sqrt rate predicts 4x on the dominant term).
+    assert errors[2] < errors[0] / 2.0
+
+
+def test_guarantee_rademacher_scaling(benchmark):
+    rng = np.random.default_rng(0)
+
+    def run():
+        rows = []
+        for n_samples in (100, 400, 1600):
+            for n_features in (5, 20):
+                features = (rng.random((n_samples, n_features)) < 0.5).astype(float)
+                estimate = empirical_rademacher_linear(features, n_draws=100)
+                rows.append([n_samples, n_features, estimate])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["n samples", "|K|", "empirical Rademacher"],
+        rows,
+        title="Appendix A check: Rademacher complexity scaling",
+    )
+    publish("guarantee_rademacher", text)
+
+    by_key = {(n, k): value for n, k, value in rows}
+    # halves (roughly) when n quadruples
+    assert by_key[(400, 5)] < by_key[(100, 5)] / 1.5
+    assert by_key[(1600, 20)] < by_key[(400, 20)] / 1.5
+    # grows with the feature count at fixed n
+    assert by_key[(400, 20)] > by_key[(400, 5)]

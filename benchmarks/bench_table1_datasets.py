@@ -1,0 +1,33 @@
+"""Table 1: parameters of the evaluation datasets.
+
+Regenerates the dataset-statistics table from the four simulators and
+checks the headline Table 1 properties (source/object counts, Stocks'
+sub-0.5 average accuracy, Genomics' hidden accuracy).
+"""
+
+from repro.experiments import table1
+
+from conftest import publish
+
+
+def test_table1_dataset_statistics(benchmark, paper_datasets):
+    text = benchmark.pedantic(
+        lambda: table1(paper_datasets), rounds=1, iterations=1
+    )
+    publish("table1_datasets", text)
+
+    stocks = paper_datasets["stocks"].stats()
+    assert stocks.n_sources == 34
+    assert stocks.n_objects == 907
+    assert stocks.avg_source_accuracy < 0.5
+
+    demos = paper_datasets["demos"].stats()
+    assert demos.n_sources == 522
+    assert abs(demos.avg_source_accuracy - 0.604) < 0.05
+
+    crowd = paper_datasets["crowd"].stats()
+    assert crowd.n_observations == crowd.n_objects * 20
+
+    genomics = paper_datasets["genomics"].stats()
+    assert genomics.avg_source_accuracy is None  # too sparse to estimate
+    assert genomics.avg_observations_per_source < 2.0

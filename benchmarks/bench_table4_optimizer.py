@@ -1,0 +1,53 @@
+"""Table 4: the optimizer's EM-vs-ERM decisions, plus the tau-robustness
+sweep of Section 5.2.3.
+
+Shape checks: the optimizer must pick the better-performing algorithm (or
+be within the tie margin) in the vast majority of cells — the paper
+reports one mistake across 20 cells.
+"""
+
+import pytest
+
+from repro.experiments import table4
+
+from conftest import FRACTIONS, SEEDS, publish
+
+
+def test_table4_optimizer_decisions(benchmark, paper_datasets):
+    # At default bench scale only one seed runs per cell, so accuracy
+    # differences below ~0.6 points are seed noise; such cells count as
+    # ties (the paper's Table 4 likewise has 0.0%-difference tie cells).
+    rows, text = benchmark.pedantic(
+        lambda: table4(
+            paper_datasets, fractions=FRACTIONS, seeds=SEEDS, tau=0.1,
+            tie_margin=0.006,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("table4_optimizer", text)
+
+    n_correct = sum(1 for row in rows if row.correct)
+    assert n_correct >= int(0.75 * len(rows)), (
+        f"optimizer correct in only {n_correct}/{len(rows)} cells"
+    )
+
+
+def test_table4_tau_robustness(benchmark, paper_datasets):
+    """Vary tau in {0.01, 0.1, 0.5, 1.0} (paper Section 5.2.3)."""
+    datasets = {k: paper_datasets[k] for k in ("stocks", "crowd")}
+
+    def sweep_tau():
+        lines = []
+        for tau in (0.01, 0.1, 0.5, 1.0):
+            rows, _ = table4(datasets, fractions=(0.01, 0.10), seeds=SEEDS, tau=tau)
+            decisions = ", ".join(
+                f"{r.dataset}@{r.train_fraction:g}:{r.decision}" for r in rows
+            )
+            correct = sum(1 for r in rows if r.correct)
+            lines.append(f"tau={tau}: {correct}/{len(rows)} correct  [{decisions}]")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(sweep_tau, rounds=1, iterations=1)
+    publish("table4_tau_robustness", text)
+    assert "tau=0.1" in text

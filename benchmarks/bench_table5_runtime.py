@@ -1,0 +1,42 @@
+"""Table 5: end-to-end wall-clock runtime of every method.
+
+Absolute numbers differ from the paper (their stack runs DeepDive +
+PostgreSQL; ours is in-process numpy), but the qualitative ordering should
+hold: simple counting baselines are fastest, iterative/EM methods cost
+more than one-shot ERM fits.
+"""
+
+import pytest
+
+from repro.experiments import CellKey, run_sweep, table5
+
+from conftest import SEEDS, publish
+
+METHODS = ["slimfast", "slimfast-erm", "slimfast-em", "counts", "accu", "catd", "sstf"]
+FRACTIONS = (0.01, 0.10)
+
+
+@pytest.fixture(scope="module")
+def sweep_report(paper_datasets):
+    return run_sweep(
+        paper_datasets, methods=METHODS, fractions=FRACTIONS, seeds=SEEDS
+    )
+
+
+def test_table5_runtimes(benchmark, sweep_report, paper_datasets):
+    text = benchmark.pedantic(lambda: table5(sweep_report), rounds=1, iterations=1)
+    publish("table5_runtime", text)
+
+    cells = sweep_report.cells
+
+    def runtime(dataset, method, fraction):
+        return cells[
+            CellKey(paper_datasets[dataset].name, method, fraction)
+        ].runtime_seconds
+
+    # Counting is the cheapest approach on every dataset.
+    for dataset in ("stocks", "demos", "crowd", "genomics"):
+        assert runtime(dataset, "counts", 0.10) <= runtime(dataset, "slimfast-em", 0.10)
+
+    # EM costs at least as much as the one-shot ERM fit.
+    assert runtime("demos", "slimfast-em", 0.10) >= runtime("demos", "slimfast-erm", 0.10)

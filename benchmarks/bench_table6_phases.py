@@ -1,0 +1,22 @@
+"""Table 6: end-to-end vs learning-and-inference-only runtime (Genomics).
+
+The paper uses this table to show most of SLiMFast's wall-clock goes into
+compilation (loading data into DeepDive and building the factor graph)
+rather than learning/inference.  Our compilation is in-process feature
+encoding, so the split is much cheaper, but the breakdown itself — and the
+fact that learning+inference is a fraction of end-to-end — reproduces.
+"""
+
+from repro.experiments import table6
+
+from conftest import publish
+
+
+def test_table6_phase_breakdown(benchmark, paper_datasets):
+    text = benchmark.pedantic(
+        lambda: table6(paper_datasets["genomics"], fractions=(0.01, 0.10, 0.20)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("table6_phases", text)
+    assert "e2e" in text and "learn+inf" in text

@@ -1,0 +1,131 @@
+"""Regenerate every paper artifact without pytest.
+
+Convenience runner for users who want the tables/figures as plain files:
+
+    python benchmarks/run_all.py [--full]
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` minus the benchmark
+timing machinery; writes the same ``benchmarks/results/*.txt`` artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale sweeps (slower)"
+    )
+    args = parser.parse_args(argv)
+    if args.full:
+        os.environ["REPRO_BENCH_SCALE"] = "full"
+
+    from repro.data import (
+        generate_crowd,
+        generate_demos,
+        generate_genomics,
+        generate_stocks,
+    )
+    from repro.experiments import (
+        TABLE2_METHODS,
+        figure4a,
+        figure4b,
+        figure4c,
+        figure5_grid,
+        figure7,
+        figure8,
+        lasso_figure,
+        run_sweep,
+        series,
+        table1,
+        table2,
+        table2_panel_b,
+        table3,
+        table4,
+        table5,
+        table6,
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    seeds = (0, 1, 2) if args.full else (0,)
+    fractions = (0.001, 0.01, 0.05, 0.10, 0.20)
+
+    def publish(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    started = time.perf_counter()
+    print("generating datasets ...", file=sys.stderr)
+    datasets = {
+        "stocks": generate_stocks(seed=0),
+        "demos": generate_demos(seed=0),
+        "crowd": generate_crowd(seed=0),
+        "genomics": generate_genomics(seed=0),
+    }
+
+    publish("table1_datasets", table1(datasets))
+
+    print("running the Table 2/3/5 sweep ...", file=sys.stderr)
+    report = run_sweep(datasets, TABLE2_METHODS, fractions, seeds)
+    publish("table2_accuracy_panel_a", table2(report))
+    publish("table2_accuracy_panel_b", table2_panel_b(report))
+    publish("table3_source_error", table3(report))
+    publish("table5_runtime", table5(report))
+
+    print("running Table 4 ...", file=sys.stderr)
+    _, table4_text = table4(
+        datasets, fractions=fractions, seeds=seeds, tie_margin=0.006
+    )
+    publish("table4_optimizer", table4_text)
+    publish("table6_phases", table6(datasets["genomics"]))
+
+    print("running Figure 4/5 sweeps ...", file=sys.stderr)
+    n_objects = 1000 if args.full else 400
+    for name, points in (
+        ("figure4a_training_data", figure4a(n_objects=n_objects, seeds=seeds)),
+        (
+            "figure4b_density",
+            figure4b(
+                n_objects=n_objects,
+                train_observations=max(int(400 * n_objects / 1000), 20),
+                seeds=seeds,
+            ),
+        ),
+        ("figure4c_accuracy", figure4c(n_objects=n_objects, seeds=seeds)),
+    ):
+        em = {p.x: p.em_accuracy for p in points}
+        erm = {p.x: p.erm_accuracy for p in points}
+        publish(
+            name,
+            series(em, "x", "EM", title="EM") + "\n\n" + series(erm, "x", "ERM", title="ERM"),
+        )
+
+    print("running Figures 6-9 ...", file=sys.stderr)
+    publish("figure6_lasso_stocks", lasso_figure(datasets["stocks"]).text)
+    publish("figure9_lasso_crowd", lasso_figure(datasets["crowd"]).text)
+    _, figure7_text = figure7(
+        {k: datasets[k] for k in ("stocks", "demos", "crowd")}, seeds=seeds[:2] or (0,)
+    )
+    publish("figure7_initialization", figure7_text)
+    demos_small = generate_demos(
+        n_objects=800, n_sources=200, n_copy_groups=15, seed=0
+    )
+    publish("figure8_copying", figure8(demos_small, seeds=(0,)).text)
+
+    print(
+        f"done in {time.perf_counter() - started:.0f}s; artifacts in {RESULTS_DIR}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

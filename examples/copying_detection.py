@@ -1,0 +1,56 @@
+"""News-copying scenario: fusing event reports from correlated outlets.
+
+Simulates the paper's Demonstrations dataset: online news domains report
+whether extracted protest events are real, but many outlets syndicate the
+same feed — their errors are correlated, which misleads methods that
+assume independent sources.  The script compares plain (feature-less)
+SLiMFast-EM against the Appendix D copying extension and prints the source
+pairs the model flags as copiers.
+
+Run:  python examples/copying_detection.py
+"""
+
+from repro import SLiMFast
+from repro.core import CopyingSLiMFast
+from repro.data import generate_demos
+from repro.fusion import object_value_accuracy
+
+
+def main() -> None:
+    dataset = generate_demos(
+        n_sources=200, n_objects=800, n_copy_groups=15, seed=0
+    )
+    print(
+        f"Dataset: {dataset.n_sources} news domains, {dataset.n_objects} "
+        f"events, {dataset.n_observations} reports\n"
+    )
+
+    print(f"{'TD':>5s}  {'w. copying':>10s}  {'w.o. copying':>12s}")
+    copying_model = None
+    for fraction in (0.01, 0.05, 0.10):
+        split = dataset.split(fraction, seed=0)
+        test = list(split.test_objects)
+
+        copying_model = CopyingSLiMFast(learner="em").fit(dataset, split.train_truth)
+        with_copy = object_value_accuracy(
+            copying_model.predict().values, dataset.ground_truth, test
+        )
+        plain = SLiMFast(learner="em", use_features=False).fit_predict(
+            dataset, split.train_truth
+        )
+        without = object_value_accuracy(plain.values, dataset.ground_truth, test)
+        print(f"{fraction:5.0%}  {with_copy:10.3f}  {without:12.3f}")
+
+    print("\nStrongest copying pairs (positive weight = likely copying):")
+    pairs = sorted(copying_model.pair_weights().items(), key=lambda kv: -kv[1])[:6]
+    for (a, b), weight in pairs:
+        print(f"  {a:28s} <-> {b:28s}  w = {weight:+.3f}")
+
+    print(
+        f"\nCandidate pairs considered: {len(copying_model.pairs_)} "
+        f"(selected by agreement z-score)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Genomics scenario: fusing gene-disease claims from sparse literature.
+
+This is the paper's motivating application (Example 1): thousands of
+articles, each contributing roughly one claim, with conflicts to resolve
+before the knowledge base can be used for patient diagnosis.  Per-source
+conflict signal is almost nonexistent at ~1.1 observations per article, so
+domain features (study design, journal tier, citations, recency) carry the
+weight — exactly where SLiMFast's discriminative model shines.
+
+The script compares SLiMFast against its feature-less variant and the
+Counts baseline at several ground-truth budgets, then inspects which
+features the model found informative.
+
+Run:  python examples/genomics_fusion.py
+"""
+
+from repro import Counts, SLiMFast
+from repro.data import generate_genomics
+from repro.fusion import object_value_accuracy
+
+
+def main() -> None:
+    dataset = generate_genomics(seed=0)
+    stats = dataset.stats()
+    print(
+        f"Dataset: {stats.n_sources} articles, {stats.n_objects} gene-disease "
+        f"pairs, {stats.n_observations} claims "
+        f"({stats.avg_observations_per_source:.2f} claims/article)\n"
+    )
+
+    print(f"{'TD':>5s}  {'SLiMFast':>9s}  {'Sources-EM':>10s}  {'Counts':>7s}")
+    for fraction in (0.01, 0.05, 0.20):
+        split = dataset.split(fraction, seed=0)
+        test = list(split.test_objects)
+
+        slimfast = SLiMFast().fit_predict(dataset, split.train_truth)
+        feature_less = SLiMFast(learner="em", use_features=False).fit_predict(
+            dataset, split.train_truth
+        )
+        counts = Counts().fit_predict(dataset, split.train_truth)
+
+        row = [
+            object_value_accuracy(r.values, dataset.ground_truth, test)
+            for r in (slimfast, feature_less, counts)
+        ]
+        print(
+            f"{fraction:5.0%}  {row[0]:9.3f}  {row[1]:10.3f}  {row[2]:7.3f}"
+        )
+
+    # Which article properties predict reliability?  Fit once with plenty
+    # of labels and inspect the learned feature weights.
+    split = dataset.split(0.5, seed=0)
+    fuser = SLiMFast(learner="erm")
+    fuser.fit(dataset, split.train_truth)
+    weights = fuser.model_.feature_weight_map()
+    print("\nStudy-design and venue feature weights:")
+    for label, weight in sorted(weights.items(), key=lambda kv: -abs(kv[1])):
+        if label.startswith(("study=", "journal=")):
+            print(f"  {label:28s} {weight:+.3f}")
+
+    # The long-tailed per-author one-hots are individually strong for the
+    # few articles they touch but useless as a feature *class*; averaging
+    # absolute weight per raw feature shows the real ranking.
+    by_name = {}
+    for label, weight in weights.items():
+        name = label.split("=")[0]
+        by_name.setdefault(name, []).append(abs(weight))
+    print("\nMean |weight| per raw feature:")
+    for name, values in sorted(by_name.items(), key=lambda kv: -sum(kv[1]) / len(kv[1])):
+        print(f"  {name:12s} {sum(values) / len(values):.3f}  ({len(values)} columns)")
+
+    # Predict the accuracy of a brand-new article from metadata alone
+    # (source-quality initialization, Section 5.3.2).
+    from repro.core import ERMConfig, ERMLearner
+
+    model = ERMLearner(ERMConfig(intercept=True)).fit(dataset, split.train_truth)
+    fresh = {"journal": "tier1", "citations": 250, "pub_year": 2015, "study": "knockout"}
+    weak = {"journal": "tier4", "citations": 1, "pub_year": 1998, "study": "GWAS"}
+    print("\nPredicted accuracy of unseen articles:")
+    print(f"  strong article {fresh}: {model.predict_accuracy(fresh):.3f}")
+    print(f"  weak article   {weak}: {model.predict_accuracy(weak):.3f}")
+
+
+if __name__ == "__main__":
+    main()

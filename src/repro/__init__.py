@@ -1,0 +1,82 @@
+"""repro — a full reproduction of SLiMFast (SIGMOD 2017).
+
+SLiMFast expresses *data fusion* — resolving conflicting claims from many
+sources by estimating source reliability — as statistical learning over a
+discriminative probabilistic model (logistic regression), with rigorous
+error guarantees and an optimizer that chooses between supervised (ERM)
+and unsupervised (EM) learning.
+
+Quickstart::
+
+    from repro import FusionDataset, SLiMFast
+
+    dataset = FusionDataset(
+        observations=[("src1", "obj1", "A"), ("src2", "obj1", "B"), ...],
+        ground_truth={"obj1": "A"},                 # optional, partial
+        source_features={"src1": {"year": 2009}},   # optional
+    )
+    result = SLiMFast().fit_predict(dataset, train_truth={"obj1": "A"})
+    result.values              # estimated true values per object
+    result.source_accuracies   # estimated accuracy per source
+
+Package map:
+
+* :mod:`repro.core` — SLiMFast model, ERM/EM learners, the EM-vs-ERM
+  optimizer, guarantees, lasso analysis, copying extension.
+* :mod:`repro.fusion` — dataset containers, feature encoding, metrics.
+* :mod:`repro.baselines` — Majority, Counts, ACCU, CATD, SSTF, TruthFinder.
+* :mod:`repro.factorgraph` — factor-graph engine (DeepDive substrate).
+* :mod:`repro.optim` — objectives and solvers (L-BFGS, FISTA, SGD).
+* :mod:`repro.data` — synthetic generators and paper-dataset simulators.
+* :mod:`repro.experiments` — harness regenerating every paper table/figure.
+"""
+
+from .baselines import Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder
+from .core import (
+    AccuracyModel,
+    CopyingSLiMFast,
+    EMConfig,
+    EMLearner,
+    ERMConfig,
+    ERMLearner,
+    OptimizerDecision,
+    SLiMFast,
+    estimate_average_accuracy,
+    lasso_path,
+)
+from .fusion import (
+    FeatureSpace,
+    FusionDataset,
+    FusionResult,
+    Observation,
+    object_value_accuracy,
+    source_accuracy_error,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SLiMFast",
+    "AccuracyModel",
+    "ERMLearner",
+    "ERMConfig",
+    "EMLearner",
+    "EMConfig",
+    "OptimizerDecision",
+    "CopyingSLiMFast",
+    "estimate_average_accuracy",
+    "lasso_path",
+    "FusionDataset",
+    "FusionResult",
+    "FeatureSpace",
+    "Observation",
+    "object_value_accuracy",
+    "source_accuracy_error",
+    "MajorityVote",
+    "Counts",
+    "Accu",
+    "Catd",
+    "Sstf",
+    "TruthFinder",
+]

@@ -1,0 +1,132 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``
+    Print Table 1-style statistics for the four simulated datasets.
+``demo``
+    Run a quick end-to-end fusion demo on a chosen simulator.
+``fuse``
+    Fuse a CSV dataset directory (see :mod:`repro.data.io` for the layout)
+    and write the estimated values/accuracies back as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from .core.slimfast import SLiMFast
+from .data import (
+    generate_crowd,
+    generate_demos,
+    generate_genomics,
+    generate_stocks,
+    load_dataset,
+)
+from .experiments import table1
+
+GENERATORS = {
+    "stocks": generate_stocks,
+    "demos": generate_demos,
+    "crowd": generate_crowd,
+    "genomics": generate_genomics,
+}
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    datasets = {name: gen(seed=args.seed) for name, gen in GENERATORS.items()}
+    print(table1(datasets))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    generator = GENERATORS[args.dataset]
+    dataset = generator(seed=args.seed)
+    split = dataset.split(args.train_fraction, seed=args.seed)
+    fuser = SLiMFast()
+    result = fuser.fit_predict(dataset, split.train_truth)
+    accuracy = result.accuracy(dataset, list(split.test_objects))
+    print(f"dataset            : {dataset.name}")
+    print(f"observations       : {dataset.n_observations}")
+    print(f"training fraction  : {args.train_fraction:.1%}")
+    print(f"learner chosen     : {fuser.chosen_learner_}")
+    if fuser.decision_ is not None:
+        print(
+            f"optimizer units    : ERM={fuser.decision_.erm_units:.1f} "
+            f"EM={fuser.decision_.em_units:.1f}"
+        )
+    print(f"test accuracy      : {accuracy:.3f}")
+    if result.source_accuracies:
+        try:
+            print(f"source-acc error   : {result.source_error(dataset):.3f}")
+        except ValueError:
+            pass
+    return 0
+
+
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.input, name=Path(args.input).name)
+    train_truth = dataset.ground_truth if args.use_truth else {}
+    fuser = SLiMFast(learner=args.learner)
+    result = fuser.fit_predict(dataset, train_truth)
+
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with open(out_dir / "fused_values.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["object", "value", "confidence"])
+        for obj, value in result.values.items():
+            confidence = (result.posteriors or {}).get(obj, {}).get(value, "")
+            writer.writerow([obj, value, confidence])
+    with open(out_dir / "source_accuracies.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "accuracy"])
+        for source, accuracy in (result.source_accuracies or {}).items():
+            writer.writerow([source, accuracy])
+    print(f"wrote {out_dir / 'fused_values.csv'}")
+    print(f"wrote {out_dir / 'source_accuracies.csv'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SLiMFast data fusion (SIGMOD 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print simulated-dataset statistics")
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=_cmd_stats)
+
+    demo = sub.add_parser("demo", help="run a quick fusion demo")
+    demo.add_argument("--dataset", choices=sorted(GENERATORS), default="stocks")
+    demo.add_argument("--train-fraction", type=float, default=0.05)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    fuse = sub.add_parser("fuse", help="fuse a CSV dataset directory")
+    fuse.add_argument("input", help="directory with observations.csv etc.")
+    fuse.add_argument("output", help="directory for the fused output CSVs")
+    fuse.add_argument(
+        "--learner", choices=["auto", "erm", "em"], default="auto"
+    )
+    fuse.add_argument(
+        "--use-truth",
+        action="store_true",
+        help="use ground_truth.csv (if present) as training labels",
+    )
+    fuse.set_defaults(func=_cmd_fuse)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

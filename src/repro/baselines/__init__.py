@@ -1,0 +1,19 @@
+"""Baseline data-fusion methods the paper compares against."""
+
+from .accu import Accu
+from .base import Fuser
+from .catd import Catd
+from .counts import Counts
+from .majority import MajorityVote
+from .sstf import Sstf
+from .truthfinder import TruthFinder
+
+__all__ = [
+    "Fuser",
+    "MajorityVote",
+    "Counts",
+    "Accu",
+    "Catd",
+    "Sstf",
+    "TruthFinder",
+]

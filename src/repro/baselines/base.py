@@ -1,0 +1,41 @@
+"""Common interface for all data-fusion methods under comparison."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.result import FusionResult
+from ..fusion.types import ObjectId, Value
+
+
+class Fuser(ABC):
+    """A data-fusion method: observations (+ optional labels) in, result out.
+
+    Every method in the paper's evaluation — SLiMFast variants, generative
+    baselines (Counts, ACCU) and iterative methods (CATD, SSTF) — is
+    exposed through this interface so the experiment harness can sweep them
+    uniformly.
+    """
+
+    name: str = "fuser"
+
+    @abstractmethod
+    def fit_predict(
+        self,
+        dataset: FusionDataset,
+        train_truth: Optional[Mapping[ObjectId, Value]] = None,
+    ) -> FusionResult:
+        """Fuse ``dataset`` using ``train_truth`` as revealed labels."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def clamp_training_values(
+        values: Dict[ObjectId, Value], train_truth: Mapping[ObjectId, Value]
+    ) -> Dict[ObjectId, Value]:
+        """Overwrite estimates with known training labels (all methods may
+        use revealed ground truth directly for those objects)."""
+        out = dict(values)
+        out.update(train_truth)
+        return out

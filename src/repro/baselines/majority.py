@@ -1,0 +1,52 @@
+"""Majority vote — the simple strategy baseline of Section 2.
+
+Every source gets equal weight; the estimated value of an object is the
+most frequently claimed one.  Ties break deterministically toward the
+first-claimed value.  Majority vote is also the implicit model inside the
+optimizer's information-units computation (Example 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.result import FusionResult
+from ..fusion.types import ObjectId, Value
+from .base import Fuser
+
+
+class MajorityVote(Fuser):
+    """Unweighted plurality vote per object."""
+
+    name = "majority"
+
+    def fit_predict(
+        self,
+        dataset: FusionDataset,
+        train_truth: Optional[Mapping[ObjectId, Value]] = None,
+    ) -> FusionResult:
+        train_truth = dict(train_truth or {})
+        values: Dict[ObjectId, Value] = {}
+        posteriors: Dict[ObjectId, Dict[Value, float]] = {}
+        for o_idx, obj in enumerate(dataset.objects):
+            counts: Dict[Value, int] = {}
+            for row in dataset.object_observation_rows(o_idx):
+                claimed = dataset.observations[row].value
+                counts[claimed] = counts.get(claimed, 0) + 1
+            total = sum(counts.values())
+            posteriors[obj] = {value: count / total for value, count in counts.items()}
+            best = None
+            best_count = -1
+            for value in dataset.domain(obj):  # first-seen order breaks ties
+                if counts.get(value, 0) > best_count:
+                    best_count = counts[value]
+                    best = value
+            values[obj] = best
+        values = self.clamp_training_values(values, train_truth)
+        return FusionResult(
+            values=values,
+            posteriors=posteriors,
+            source_accuracies=None,
+            method=self.name,
+        )

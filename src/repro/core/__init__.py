@@ -1,0 +1,79 @@
+"""SLiMFast core: model, learners, optimizer, guarantees and extensions."""
+
+from .agreement import (
+    AgreementMatrix,
+    agreement_matrix,
+    average_domain_size,
+    estimate_average_accuracy,
+    estimate_source_accuracies_rank1,
+)
+from .copying import CopyingSLiMFast, SourcePair, find_candidate_pairs
+from .em import EMConfig, EMLearner, EMTrace
+from .erm import ERMConfig, ERMLearner, correctness_training_pairs
+from .guarantees import (
+    em_accuracy_bound,
+    empirical_rademacher_linear,
+    erm_generalization_bound,
+    erm_sparse_bound,
+    expected_observations,
+    rademacher_linear,
+)
+from .inference import expected_correctness, map_assignment, pair_scores, posteriors
+from .initialization import (
+    InitializationReport,
+    evaluate_initialization,
+    initialization_curve,
+    predict_unseen_accuracies,
+)
+from .lasso import LassoPath, lasso_path
+from .model import AccuracyModel, model_from_flat
+from .optimizer import (
+    OptimizerDecision,
+    decide,
+    em_information_units,
+    erm_information_units,
+)
+from .slimfast import SLiMFast
+from .structure import PairStructure, build_pair_structure
+
+__all__ = [
+    "SLiMFast",
+    "AccuracyModel",
+    "model_from_flat",
+    "ERMLearner",
+    "ERMConfig",
+    "correctness_training_pairs",
+    "EMLearner",
+    "EMConfig",
+    "EMTrace",
+    "OptimizerDecision",
+    "decide",
+    "em_information_units",
+    "erm_information_units",
+    "AgreementMatrix",
+    "agreement_matrix",
+    "average_domain_size",
+    "estimate_average_accuracy",
+    "estimate_source_accuracies_rank1",
+    "erm_generalization_bound",
+    "erm_sparse_bound",
+    "em_accuracy_bound",
+    "rademacher_linear",
+    "empirical_rademacher_linear",
+    "expected_observations",
+    "LassoPath",
+    "lasso_path",
+    "InitializationReport",
+    "evaluate_initialization",
+    "initialization_curve",
+    "predict_unseen_accuracies",
+    "CopyingSLiMFast",
+    "SourcePair",
+    "find_candidate_pairs",
+    "PairStructure",
+    "build_pair_structure",
+    "posteriors",
+    "map_assignment",
+    "pair_scores",
+    "expected_correctness",
+]

@@ -1,0 +1,203 @@
+"""Expectation maximization for SLiMFast (paper Section 3.2).
+
+When ground truth is limited or absent, SLiMFast estimates the weights and
+the latent true values jointly:
+
+* **E-step** — with weights fixed, compute posteriors ``P(T_o | Ω; w)``
+  (Equation 4).  Objects with ground truth are *clamped* (they correspond to
+  observed variables in the compiled factor graph), which makes this a
+  semi-supervised procedure exactly as in the paper.
+* **M-step** — with posteriors fixed, refit the accuracy model by weighted
+  logistic regression: each observation contributes a soft correctness
+  label ``q = P(T_o = v_{o,s} | Ω; w)``.
+
+Initialization sets every source's accuracy to ``init_accuracy`` (0.7), so
+the first E-step behaves like majority vote; when training labels exist an
+ERM warm start is used instead.  The likelihood is non-convex and EM may
+converge to local optima — the behaviour the paper's optimizer reasons
+about (e.g. label-flipped solutions when average accuracy < 0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.features import FeatureSpace, build_design_matrix
+from ..fusion.types import ObjectId, Value
+from ..optim.numerics import logit
+from ..optim.objectives import CorrectnessObjective
+from ..optim.solvers import minimize_lbfgs, sgd
+from .erm import ERMConfig, ERMLearner
+from .inference import expected_correctness
+from .model import AccuracyModel, model_from_flat
+from .structure import PairStructure, build_pair_structure
+
+
+@dataclass
+class EMConfig:
+    """Hyper-parameters of the EM learner.
+
+    Attributes
+    ----------
+    max_iterations:
+        EM round budget.
+    tolerance:
+        Convergence threshold on the mean absolute change in estimated
+        source accuracies between rounds.
+    init_accuracy:
+        Uniform initial accuracy (first E-step = majority vote).
+    warm_start_erm:
+        When labels exist, initialize from an ERM fit on them.
+    l2_sources, l2_features:
+        Ridge penalties applied in every M-step.
+    use_features:
+        When False, reduces to the paper's Sources-EM variant (the
+        discriminative equivalent of Zhao et al.'s generative model).
+    solver:
+        "lbfgs" (default) or "sgd" for the M-step.
+    """
+
+    max_iterations: int = 50
+    tolerance: float = 1e-4
+    init_accuracy: float = 0.7
+    warm_start_erm: bool = True
+    l2_sources: float = 4.0
+    l2_features: float = 1.0
+    use_features: bool = True
+    solver: str = "lbfgs"
+    sgd_epochs: int = 10
+    seed: int = 0
+
+
+@dataclass
+class EMTrace:
+    """Per-round diagnostics of an EM run."""
+
+    accuracy_deltas: List[float]
+    n_iterations: int
+    converged: bool
+
+
+class EMLearner:
+    """Fits SLiMFast's accuracy model by (semi-supervised) EM."""
+
+    def __init__(self, config: Optional[EMConfig] = None, **overrides: object) -> None:
+        base = config if config is not None else EMConfig()
+        if overrides:
+            base = EMConfig(**{**base.__dict__, **overrides})
+        self.config = base
+        self.trace_: Optional[EMTrace] = None
+
+    def fit(
+        self,
+        dataset: FusionDataset,
+        truth: Optional[Mapping[ObjectId, Value]] = None,
+        design: Optional[np.ndarray] = None,
+        feature_space: Optional[FeatureSpace] = None,
+    ) -> AccuracyModel:
+        """Run EM until source accuracies stabilize.
+
+        ``truth`` may be empty (fully unsupervised) or partial
+        (semi-supervised with clamped evidence variables).
+        """
+        truth = dict(truth or {})
+        if design is None or feature_space is None:
+            design, feature_space = build_design_matrix(
+                dataset, use_features=self.config.use_features
+            )
+
+        structure = build_pair_structure(dataset)
+        label_rows = structure.label_rows(truth)
+
+        # The M-step model carries an unpenalized shared intercept: ridge
+        # shrinkage then pulls individual sources toward the *population
+        # mean* accuracy instead of toward 0.5.  Without it, sparse
+        # instances (few observations per source) collapse to the
+        # degenerate all-0.5 fixed point.
+        w = np.concatenate(
+            [self._initial_weights(dataset, truth, design, feature_space), [0.0]]
+        )
+        model = model_from_flat(w, dataset, design, feature_space, intercept=True)
+
+        deltas: List[float] = []
+        converged = False
+        previous_acc = model.accuracies()
+        for _ in range(self.config.max_iterations):
+            # E-step: soft correctness of each observation.
+            q_obs, _ = expected_correctness(structure, model.trust_scores(), label_rows)
+
+            # M-step: weighted logistic regression with soft labels.
+            objective = CorrectnessObjective(
+                source_idx=structure.obs_source_idx,
+                labels=q_obs,
+                design=design,
+                l2_sources=self.config.l2_sources,
+                l2_features=self.config.l2_features,
+                intercept=True,
+            )
+            if self.config.solver == "sgd":
+                result = sgd(
+                    objective,
+                    n_samples=structure.obs_source_idx.shape[0],
+                    w0=w,
+                    epochs=self.config.sgd_epochs,
+                    seed=self.config.seed,
+                )
+            else:
+                result = minimize_lbfgs(objective, w0=w)
+            w = result.w
+            model = model_from_flat(w, dataset, design, feature_space, intercept=True)
+
+            current_acc = model.accuracies()
+            delta = float(np.mean(np.abs(current_acc - previous_acc)))
+            deltas.append(delta)
+            previous_acc = current_acc
+            if delta < self.config.tolerance:
+                converged = True
+                break
+
+        self.trace_ = EMTrace(
+            accuracy_deltas=deltas, n_iterations=len(deltas), converged=converged
+        )
+        final_space = feature_space if self.config.use_features else None
+        return model_from_flat(w, dataset, design, final_space, intercept=True)
+
+    # ------------------------------------------------------------------
+    def _initial_weights(
+        self,
+        dataset: FusionDataset,
+        truth: Dict[ObjectId, Value],
+        design: np.ndarray,
+        feature_space: FeatureSpace,
+    ) -> np.ndarray:
+        n_params = dataset.n_sources + design.shape[1]
+        w = np.zeros(n_params)
+        w[: dataset.n_sources] = float(logit(self.config.init_accuracy))
+        if truth and self.config.warm_start_erm:
+            learner = ERMLearner(
+                ERMConfig(
+                    l2_sources=self.config.l2_sources,
+                    l2_features=self.config.l2_features,
+                    use_features=self.config.use_features,
+                )
+            )
+            try:
+                warm = learner.fit(dataset, truth, design=design, feature_space=feature_space)
+            except Exception:
+                return w  # fall back to the uniform init
+            # Sources without labeled observations keep the uniform prior so
+            # the first E-step still behaves like majority vote for objects
+            # the labeled sources do not cover.
+            labeled_sources = {
+                dataset.sources.index(obs.source)
+                for obs in dataset.observations
+                if obs.obj in truth
+            }
+            for s_idx in labeled_sources:
+                w[s_idx] = warm.w_sources[s_idx]
+            w[dataset.n_sources :] = warm.w_features
+        return w

@@ -1,0 +1,202 @@
+"""Empirical risk minimization for SLiMFast (paper Section 3.2).
+
+With ground truth available, learning is a *convex* problem: no latent
+variables remain, so the likelihood can be optimized directly and
+efficiently ("we can avoid time consuming iterative algorithms entirely").
+Two interchangeable objectives are offered:
+
+* ``objective="correctness"`` (default) — the accuracy-estimate loss of
+  Definition 7: logistic regression on per-observation correctness labels
+  derived from the ground truth.  This is the objective the paper's
+  Theorem 2 analyzes.
+* ``objective="conditional"`` — the object-level conditional likelihood of
+  Equation 4 restricted to labeled objects (the log-loss of Theorem 1).
+
+Both objectives produce an :class:`~repro.core.model.AccuracyModel`; an
+ablation bench compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.features import FeatureSpace, build_design_matrix
+from ..fusion.types import DatasetError, ObjectId, Value
+from ..optim.objectives import ConditionalObjective, CorrectnessObjective
+from ..optim.solvers import SolverResult, fista, minimize_lbfgs, sgd
+from .model import AccuracyModel, model_from_flat
+from .structure import build_pair_structure
+
+
+@dataclass
+class ERMConfig:
+    """Hyper-parameters of the ERM learner.
+
+    Attributes
+    ----------
+    objective:
+        "correctness" (Definition 7) or "conditional" (Equation 4).
+    l2_sources, l2_features:
+        Ridge penalties.  Source indicators get a mild default penalty so
+        sources with one or two labeled observations do not saturate.
+    l1_features:
+        Optional lasso penalty on feature weights (enables sparse models;
+        the lasso-path module drives this over a grid).
+    solver:
+        "lbfgs" (default, deterministic) or "sgd" (paper-faithful).
+    intercept:
+        Fit a shared bias; required for unseen-source prediction.
+    use_features:
+        When False, reduces to the paper's Sources-ERM variant.
+    """
+
+    objective: str = "correctness"
+    l2_sources: float = 4.0
+    l2_features: float = 1.0
+    l1_features: float = 0.0
+    solver: str = "lbfgs"
+    intercept: bool = False
+    use_features: bool = True
+    sgd_epochs: int = 40
+    sgd_learning_rate: float = 0.5
+    seed: int = 0
+
+
+def correctness_training_pairs(
+    dataset: FusionDataset, truth: Mapping[ObjectId, Value]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(source_idx, correctness label) pairs for observations on labeled objects."""
+    sources = []
+    labels = []
+    for obs in dataset.observations:
+        expected = truth.get(obs.obj)
+        if expected is None:
+            continue
+        sources.append(dataset.sources.index(obs.source))
+        labels.append(1.0 if obs.value == expected else 0.0)
+    return np.asarray(sources, dtype=np.int64), np.asarray(labels, dtype=float)
+
+
+class ERMLearner:
+    """Fits SLiMFast's accuracy model by empirical risk minimization."""
+
+    def __init__(self, config: Optional[ERMConfig] = None, **overrides: object) -> None:
+        base = config if config is not None else ERMConfig()
+        if overrides:
+            base = ERMConfig(**{**base.__dict__, **overrides})
+        if base.objective not in ("correctness", "conditional"):
+            raise ValueError(f"unknown objective {base.objective!r}")
+        if base.solver not in ("lbfgs", "sgd"):
+            raise ValueError(f"unknown solver {base.solver!r}")
+        self.config = base
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: FusionDataset,
+        truth: Mapping[ObjectId, Value],
+        design: Optional[np.ndarray] = None,
+        feature_space: Optional[FeatureSpace] = None,
+        w0: Optional[np.ndarray] = None,
+    ) -> AccuracyModel:
+        """Learn model weights from ground truth ``truth``.
+
+        ``design``/``feature_space`` may be passed to reuse a pre-built
+        feature encoding (the facade does this to share one encoding across
+        learners); otherwise they are built from the dataset.
+        """
+        if not truth:
+            raise DatasetError("ERM requires at least one ground-truth label")
+        if design is None or feature_space is None:
+            design, feature_space = build_design_matrix(
+                dataset, use_features=self.config.use_features
+            )
+
+        if self.config.objective == "correctness":
+            objective = self._correctness_objective(dataset, truth, design)
+            n_samples = objective.n_samples
+        else:
+            objective = self._conditional_objective(dataset, truth, design)
+            n_samples = None
+
+        result = self._solve(objective, n_samples, w0)
+        model = model_from_flat(
+            result.w,
+            dataset,
+            design,
+            feature_space if self.config.use_features else None,
+            intercept=self.config.intercept and self.config.objective == "correctness",
+        )
+        return model
+
+    # ------------------------------------------------------------------
+    def _correctness_objective(
+        self,
+        dataset: FusionDataset,
+        truth: Mapping[ObjectId, Value],
+        design: np.ndarray,
+    ) -> CorrectnessObjective:
+        source_idx, labels = correctness_training_pairs(dataset, truth)
+        if source_idx.size == 0:
+            raise DatasetError("no observations overlap the provided ground truth")
+        return CorrectnessObjective(
+            source_idx=source_idx,
+            labels=labels,
+            design=design,
+            l2_sources=self.config.l2_sources,
+            l2_features=self.config.l2_features,
+            intercept=self.config.intercept,
+        )
+
+    def _conditional_objective(
+        self,
+        dataset: FusionDataset,
+        truth: Mapping[ObjectId, Value],
+        design: np.ndarray,
+    ) -> ConditionalObjective:
+        labeled_objects = [obj for obj in dataset.objects if obj in truth]
+        if not labeled_objects:
+            raise DatasetError("no labeled objects found in the dataset")
+        structure = build_pair_structure(dataset, labeled_objects)
+        label_rows = structure.label_rows(dict(truth))
+        return ConditionalObjective(
+            design=design,
+            obs_source_idx=structure.obs_source_idx,
+            obs_pair_idx=structure.obs_pair_idx,
+            pair_object_idx=structure.pair_object_pos,
+            label_pair_idx=label_rows,
+            l2_sources=self.config.l2_sources,
+            l2_features=self.config.l2_features,
+            base_scores=structure.base_scores,
+        )
+
+    def _solve(
+        self,
+        objective,
+        n_samples: Optional[int],
+        w0: Optional[np.ndarray],
+    ) -> SolverResult:
+        if self.config.l1_features > 0.0:
+            mask = objective.layout.l1_mask(features=True)
+            return fista(
+                objective,
+                l1_strength=self.config.l1_features,
+                l1_mask=mask,
+                w0=w0,
+            )
+        if self.config.solver == "sgd":
+            if n_samples is None:
+                raise ValueError("SGD solver requires the correctness objective")
+            return sgd(
+                objective,
+                n_samples=n_samples,
+                w0=w0,
+                learning_rate=self.config.sgd_learning_rate,
+                epochs=self.config.sgd_epochs,
+                seed=self.config.seed,
+            )
+        return minimize_lbfgs(objective, w0=w0)

@@ -1,0 +1,149 @@
+"""SLiMFast's accuracy model (paper Equations 2-3).
+
+The model assigns each source an estimated accuracy
+
+    ``A_s = sigmoid(b + w_s + sum_k w_k f_{s,k})``
+
+where ``w_s`` is the source-indicator weight, ``f_{s,k}`` the binary domain
+features and ``b`` an optional shared intercept (zero in the paper's
+formulation; useful for predicting accuracies of unseen sources).  The trust
+score entering the object posterior is the log-odds
+``sigma_s = logit(A_s)``, which for this parameterization is simply the
+linear score itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.features import FeatureSpace
+from ..fusion.types import NotFittedError, SourceId
+from ..optim.numerics import sigmoid
+
+
+@dataclass
+class AccuracyModel:
+    """Fitted parameters of SLiMFast's logistic accuracy model.
+
+    Attributes
+    ----------
+    w_sources:
+        Per-source indicator weights, aligned to ``source_ids``.
+    w_features:
+        Domain-feature weights, aligned to the feature-space columns.
+    design:
+        The ``|S| x |K|`` binary design matrix the model was fitted with.
+    source_ids:
+        Source identifiers in index order.
+    feature_space:
+        The fitted :class:`FeatureSpace` (``None`` when no features used).
+    intercept:
+        Shared bias term (0 unless fitted with ``intercept=True``).
+    w_extra:
+        Extension weights (e.g. copying features); empty by default.
+    """
+
+    w_sources: np.ndarray
+    w_features: np.ndarray
+    design: np.ndarray
+    source_ids: List[SourceId]
+    feature_space: Optional[FeatureSpace] = None
+    intercept: float = 0.0
+    w_extra: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def __post_init__(self) -> None:
+        self.w_sources = np.asarray(self.w_sources, dtype=float)
+        self.w_features = np.asarray(self.w_features, dtype=float)
+        self.design = np.asarray(self.design, dtype=float)
+        if self.design.shape != (len(self.source_ids), self.w_features.shape[0]):
+            raise ValueError(
+                "design must be |S| x |K|: got "
+                f"{self.design.shape} for {len(self.source_ids)} sources and "
+                f"{self.w_features.shape[0]} features"
+            )
+        if self.w_sources.shape[0] != len(self.source_ids):
+            raise ValueError("w_sources must align with source_ids")
+
+    # ------------------------------------------------------------------
+    # Scores and accuracies
+    # ------------------------------------------------------------------
+    def trust_scores(self) -> np.ndarray:
+        """Per-source log-odds scores ``sigma_s`` (Equation 2)."""
+        return self.intercept + self.w_sources + self.design @ self.w_features
+
+    def accuracies(self) -> np.ndarray:
+        """Estimated accuracies ``A_s`` per source index (Equation 3)."""
+        return sigmoid(self.trust_scores())
+
+    def accuracy_map(self) -> Dict[SourceId, float]:
+        """Estimated accuracies keyed by source identifier."""
+        accs = self.accuracies()
+        return {source: float(accs[i]) for i, source in enumerate(self.source_ids)}
+
+    # ------------------------------------------------------------------
+    # Unseen sources (paper Section 5.3.2)
+    # ------------------------------------------------------------------
+    def predict_accuracy(self, features: Mapping[str, object]) -> float:
+        """Predict the accuracy of a *new* source from its features alone.
+
+        New sources have no indicator weight, so the prediction uses only
+        the shared intercept and the learned feature weights — exactly the
+        source-quality-initialization functionality of Section 5.3.2.
+        """
+        if self.feature_space is None or self.feature_space.n_columns == 0:
+            raise NotFittedError(
+                "predicting unseen-source accuracy requires a model fitted "
+                "with domain features"
+            )
+        row = self.feature_space.encode(features)
+        return float(sigmoid(self.intercept + row @ self.w_features))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def feature_weight_map(self) -> Dict[str, float]:
+        """Feature weights keyed by human-readable column label."""
+        if self.feature_space is None:
+            return {}
+        return {
+            label: float(self.w_features[i])
+            for i, label in enumerate(self.feature_space.column_labels)
+        }
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.source_ids)
+
+    @property
+    def n_features(self) -> int:
+        return int(self.w_features.shape[0])
+
+
+def model_from_flat(
+    w: np.ndarray,
+    dataset: FusionDataset,
+    design: np.ndarray,
+    feature_space: Optional[FeatureSpace],
+    intercept: bool = False,
+    n_extra: int = 0,
+) -> AccuracyModel:
+    """Assemble an :class:`AccuracyModel` from a flat solver vector."""
+    n_sources = dataset.n_sources
+    n_features = design.shape[1]
+    a = n_sources
+    b = a + n_features
+    c = b + n_extra
+    bias = float(w[c]) if intercept else 0.0
+    return AccuracyModel(
+        w_sources=np.array(w[:a], dtype=float),
+        w_features=np.array(w[a:b], dtype=float),
+        design=design,
+        source_ids=dataset.sources.items,
+        feature_space=feature_space,
+        intercept=bias,
+        w_extra=np.array(w[b:c], dtype=float),
+    )

@@ -1,0 +1,198 @@
+"""The SLiMFast facade — the library's primary public API.
+
+Wires together compilation (feature encoding), the optimizer (ERM-vs-EM
+choice), learning and inference into the three-step pipeline of paper
+Figure 3::
+
+    fuser = SLiMFast()                       # optimizer decides ERM vs EM
+    result = fuser.fit_predict(dataset, train_truth)
+    result.values                            # estimated true values
+    result.source_accuracies                 # estimated source accuracies
+    fuser.decision_                          # what the optimizer chose, and why
+
+Variants from the paper's evaluation map onto constructor arguments:
+
+=================  ====================================
+Paper method       Construction
+=================  ====================================
+SLiMFast           ``SLiMFast()``
+SLiMFast-ERM       ``SLiMFast(learner="erm")``
+SLiMFast-EM        ``SLiMFast(learner="em")``
+Sources-ERM        ``SLiMFast(learner="erm", use_features=False)``
+Sources-EM         ``SLiMFast(learner="em", use_features=False)``
+=================  ====================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.features import FeatureSpace, build_design_matrix
+from ..fusion.result import FusionResult
+from ..fusion.types import DatasetError, NotFittedError, ObjectId, Value
+from .em import EMConfig, EMLearner
+from .erm import ERMConfig, ERMLearner
+from .inference import map_assignment, posteriors
+from .model import AccuracyModel
+from .optimizer import OptimizerDecision, decide
+from .structure import build_pair_structure
+
+
+class SLiMFast:
+    """Discriminative data fusion with an automatic learner choice.
+
+    Parameters
+    ----------
+    learner:
+        ``"auto"`` (paper's optimizer, Algorithm 2), ``"erm"`` or ``"em"``.
+    use_features:
+        Consume domain-specific features if the dataset provides them.
+    tau:
+        Optimizer bound threshold (paper default 0.1).
+    objective:
+        ERM objective: ``"correctness"`` (Definition 7) or ``"conditional"``
+        (Equation 4).
+    erm_config / em_config:
+        Full learner configuration overrides; built from the scalar
+        arguments when omitted.
+    optimizer_per_observation / optimizer_accuracy_method:
+        Optimizer variants, see :mod:`repro.core.optimizer`.
+    """
+
+    def __init__(
+        self,
+        learner: str = "auto",
+        use_features: bool = True,
+        tau: float = 0.1,
+        objective: str = "correctness",
+        l2_sources: float = 4.0,
+        l2_features: float = 1.0,
+        solver: str = "lbfgs",
+        erm_config: Optional[ERMConfig] = None,
+        em_config: Optional[EMConfig] = None,
+        optimizer_per_observation: bool = False,
+        optimizer_accuracy_method: str = "domain-corrected",
+        seed: int = 0,
+    ) -> None:
+        if learner not in ("auto", "erm", "em"):
+            raise ValueError(f"unknown learner {learner!r}")
+        self.learner = learner
+        self.use_features = use_features
+        self.tau = tau
+        self.optimizer_per_observation = optimizer_per_observation
+        self.optimizer_accuracy_method = optimizer_accuracy_method
+        self.erm_config = erm_config or ERMConfig(
+            objective=objective,
+            l2_sources=l2_sources,
+            l2_features=l2_features,
+            solver=solver,
+            use_features=use_features,
+            seed=seed,
+        )
+        self.em_config = em_config or EMConfig(
+            l2_sources=l2_sources,
+            l2_features=l2_features,
+            use_features=use_features,
+            solver=solver,
+            seed=seed,
+        )
+
+        self.model_: Optional[AccuracyModel] = None
+        self.decision_: Optional[OptimizerDecision] = None
+        self.chosen_learner_: Optional[str] = None
+        self.timings_: Dict[str, float] = {}
+        self._train_truth: Dict[ObjectId, Value] = {}
+        self._dataset: Optional[FusionDataset] = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: FusionDataset,
+        train_truth: Optional[Mapping[ObjectId, Value]] = None,
+    ) -> "SLiMFast":
+        """Compile, choose a learner, and fit the accuracy model."""
+        truth = dict(train_truth or {})
+        self._dataset = dataset
+        self._train_truth = truth
+
+        started = time.perf_counter()
+        design, space = build_design_matrix(dataset, use_features=self.use_features)
+        self.timings_["compile"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        choice = self.learner
+        if choice == "auto":
+            self.decision_ = decide(
+                dataset,
+                truth,
+                n_features=design.shape[1],
+                tau=self.tau,
+                per_observation=self.optimizer_per_observation,
+                accuracy_method=self.optimizer_accuracy_method,
+            )
+            choice = self.decision_.algorithm
+            if choice == "erm" and not truth:
+                # Without any labels ERM is undefined; fall back to EM.
+                choice = "em"
+        self.timings_["optimizer"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if choice == "erm":
+            if not truth:
+                raise DatasetError("ERM learner requires training ground truth")
+            self.model_ = ERMLearner(self.erm_config).fit(
+                dataset, truth, design=design, feature_space=space
+            )
+        else:
+            self.model_ = EMLearner(self.em_config).fit(
+                dataset, truth, design=design, feature_space=space
+            )
+        self.timings_["learning"] = time.perf_counter() - started
+        self.chosen_learner_ = choice
+        return self
+
+    def predict(self) -> FusionResult:
+        """Infer object values and package the full fusion output.
+
+        Training objects are clamped to their known truth; all other
+        objects receive MAP estimates under the learned model.
+        """
+        if self.model_ is None or self._dataset is None:
+            raise NotFittedError("call fit() before predict()")
+        started = time.perf_counter()
+        structure = build_pair_structure(self._dataset)
+        posterior = posteriors(
+            self._dataset, self.model_, structure=structure, clamp=self._train_truth
+        )
+        values = map_assignment(posterior)
+        self.timings_["inference"] = time.perf_counter() - started
+        diagnostics: Dict[str, object] = {
+            "learner": self.chosen_learner_,
+            "timings": dict(self.timings_),
+        }
+        if self.decision_ is not None:
+            diagnostics["optimizer"] = self.decision_
+        return FusionResult(
+            values=values,
+            posteriors=posterior,
+            source_accuracies=self.model_.accuracy_map(),
+            method=self._method_name(),
+            diagnostics=diagnostics,
+        )
+
+    def fit_predict(
+        self,
+        dataset: FusionDataset,
+        train_truth: Optional[Mapping[ObjectId, Value]] = None,
+    ) -> FusionResult:
+        """Convenience: :meth:`fit` followed by :meth:`predict`."""
+        return self.fit(dataset, train_truth).predict()
+
+    # ------------------------------------------------------------------
+    def _method_name(self) -> str:
+        prefix = "slimfast" if self.use_features else "sources"
+        if self.learner == "auto":
+            return prefix if prefix == "slimfast" else f"{prefix}-auto"
+        return f"{prefix}-{self.learner}"

@@ -1,0 +1,146 @@
+"""Flattened (object, value) candidate structure.
+
+SLiMFast's posterior (Equation 1/4) is a softmax, per object, over the
+distinct values claimed for that object.  Both learning (conditional
+objective) and inference need the same bookkeeping: a flattened list of
+(object, candidate-value) rows, plus the mapping from each observation to
+the row of the value it claims.  :class:`PairStructure` builds that once per
+dataset and is shared by the ERM/EM learners, the inference routines and the
+copying extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.types import ObjectId, Value
+
+
+@dataclass
+class PairStructure:
+    """Candidate rows for a subset of objects.
+
+    Attributes
+    ----------
+    object_ids:
+        The objects covered, in listing order.
+    object_dataset_idx:
+        Dataset object index of each listed object.
+    pair_object_pos:
+        For each flattened row, the position of its object in ``object_ids``.
+    pair_values:
+        The candidate value of each flattened row.
+    pair_offsets:
+        Start row of each object's block; ``pair_offsets[i+1] - pair_offsets[i]``
+        is ``|D_o|`` for the i-th object (a trailing sentinel is included).
+    obs_source_idx:
+        Source index of every observation on a covered object.
+    obs_pair_idx:
+        Flattened row index each observation votes for.
+    base_scores:
+        Fixed per-row score offsets ``count_of_votes * log(|D_o| - 1)``.
+        This is the multi-valued generalization of Equation 4: a vote for
+        value ``d`` contributes ``sigma_s + log(|D_o| - 1)``, the
+        discriminative counterpart of spreading a source's error mass
+        uniformly over the wrong alternatives.  For binary domains the
+        offset is zero and the model is exactly the paper's.
+    """
+
+    object_ids: List[ObjectId]
+    object_dataset_idx: np.ndarray
+    pair_object_pos: np.ndarray
+    pair_values: List[Value]
+    pair_offsets: np.ndarray
+    obs_source_idx: np.ndarray
+    obs_pair_idx: np.ndarray
+    base_scores: np.ndarray
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.object_ids)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pair_values)
+
+    def rows_of(self, position: int) -> range:
+        """Flattened row range of the object at ``position``."""
+        return range(int(self.pair_offsets[position]), int(self.pair_offsets[position + 1]))
+
+    def label_rows(self, truth: Dict[ObjectId, Value]) -> np.ndarray:
+        """Row index of the true value per object; -1 when unclaimed.
+
+        Single-truth semantics assume at least one source provides the true
+        value; objects violating that (possible in noisy simulations) are
+        flagged with -1 and excluded from likelihoods.
+        """
+        labels = np.full(self.n_objects, -1, dtype=np.int64)
+        for position, obj in enumerate(self.object_ids):
+            if obj not in truth:
+                continue
+            wanted = truth[obj]
+            for row in self.rows_of(position):
+                if self.pair_values[row] == wanted:
+                    labels[position] = row
+                    break
+        return labels
+
+
+def build_pair_structure(
+    dataset: FusionDataset, objects: Optional[Sequence[ObjectId]] = None
+) -> PairStructure:
+    """Construct the :class:`PairStructure` for ``objects`` (default: all)."""
+    if objects is None:
+        object_ids = dataset.objects.items
+    else:
+        object_ids = list(objects)
+
+    object_dataset_idx = np.asarray(
+        [dataset.objects.index(obj) for obj in object_ids], dtype=np.int64
+    )
+
+    pair_object_pos: List[int] = []
+    pair_values: List[Value] = []
+    offsets = [0]
+    row_base: Dict[int, int] = {}
+    for position, o_idx in enumerate(object_dataset_idx):
+        domain = dataset.domain_by_index(int(o_idx))
+        row_base[int(o_idx)] = offsets[-1]
+        for value in domain:
+            pair_object_pos.append(position)
+            pair_values.append(value)
+        offsets.append(offsets[-1] + len(domain))
+
+    obs_source: List[int] = []
+    obs_pair: List[int] = []
+    obs_log_alt: List[float] = []
+    for o_idx in object_dataset_idx:
+        base = row_base[int(o_idx)]
+        domain = dataset.domain_by_index(int(o_idx))
+        log_alt = float(np.log(max(len(domain) - 1, 1)))
+        for row in dataset.object_observation_rows(int(o_idx)):
+            obs = dataset.observations[row]
+            obs_source.append(dataset.sources.index(obs.source))
+            obs_pair.append(base + domain.index(obs.value))
+            obs_log_alt.append(log_alt)
+
+    obs_pair_arr = np.asarray(obs_pair, dtype=np.int64)
+    base_scores = np.bincount(
+        obs_pair_arr,
+        weights=np.asarray(obs_log_alt, dtype=float),
+        minlength=len(pair_values),
+    )
+    return PairStructure(
+        object_ids=object_ids,
+        object_dataset_idx=object_dataset_idx,
+        pair_object_pos=np.asarray(pair_object_pos, dtype=np.int64),
+        pair_values=pair_values,
+        pair_offsets=np.asarray(offsets, dtype=np.int64),
+        obs_source_idx=np.asarray(obs_source, dtype=np.int64),
+        obs_pair_idx=obs_pair_arr,
+        base_scores=base_scores,
+    )

@@ -1,0 +1,20 @@
+"""Workload generators: synthetic instances and paper-dataset simulators."""
+
+from .crowd import generate_crowd
+from .demos import generate_demos
+from .genomics import generate_genomics
+from .io import load_dataset, save_dataset
+from .stocks import generate_stocks
+from .synthetic import SyntheticConfig, SyntheticInstance, generate
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticInstance",
+    "generate",
+    "generate_stocks",
+    "generate_demos",
+    "generate_crowd",
+    "generate_genomics",
+    "load_dataset",
+    "save_dataset",
+]

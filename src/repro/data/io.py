@@ -1,0 +1,126 @@
+"""CSV persistence for fusion datasets.
+
+A dataset is stored as up to four plain CSV files in a directory::
+
+    observations.csv      source,object,value          (required)
+    ground_truth.csv      object,value                 (optional)
+    source_features.csv   source,feature,value         (optional)
+    true_accuracies.csv   source,accuracy              (optional)
+
+All identifiers round-trip as strings; feature values are parsed back to
+bool/int/float when they look like one (the simulators only emit such
+types).  This keeps the on-disk format trivially inspectable and
+diff-friendly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Union
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.types import DatasetError, Observation
+
+_OBSERVATIONS = "observations.csv"
+_GROUND_TRUTH = "ground_truth.csv"
+_FEATURES = "source_features.csv"
+_ACCURACIES = "true_accuracies.csv"
+
+
+def _parse_scalar(text: str) -> object:
+    """Best-effort parse of a CSV cell back to bool/int/float/str."""
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def save_dataset(dataset: FusionDataset, directory: Union[str, Path]) -> Path:
+    """Write ``dataset`` into ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / _OBSERVATIONS, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "object", "value"])
+        for obs in dataset.observations:
+            writer.writerow([obs.source, obs.obj, obs.value])
+
+    if dataset.ground_truth:
+        with open(directory / _GROUND_TRUTH, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["object", "value"])
+            for obj, value in dataset.ground_truth.items():
+                writer.writerow([obj, value])
+
+    if dataset.source_features:
+        with open(directory / _FEATURES, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["source", "feature", "value"])
+            for source, features in dataset.source_features.items():
+                for name, value in features.items():
+                    writer.writerow([source, name, value])
+
+    if dataset.true_accuracies:
+        with open(directory / _ACCURACIES, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["source", "accuracy"])
+            for source, accuracy in dataset.true_accuracies.items():
+                writer.writerow([source, accuracy])
+
+    return directory
+
+
+def load_dataset(directory: Union[str, Path], name: str = "loaded") -> FusionDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    obs_path = directory / _OBSERVATIONS
+    if not obs_path.exists():
+        raise DatasetError(f"missing {obs_path}")
+
+    observations = []
+    with open(obs_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            observations.append(Observation(row["source"], row["object"], row["value"]))
+
+    ground_truth: Dict[str, str] = {}
+    gt_path = directory / _GROUND_TRUTH
+    if gt_path.exists():
+        with open(gt_path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                ground_truth[row["object"]] = row["value"]
+
+    source_features: Dict[str, Dict[str, object]] = {}
+    feat_path = directory / _FEATURES
+    if feat_path.exists():
+        with open(feat_path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                source_features.setdefault(row["source"], {})[row["feature"]] = _parse_scalar(
+                    row["value"]
+                )
+
+    true_accuracies: Dict[str, float] = {}
+    acc_path = directory / _ACCURACIES
+    if acc_path.exists():
+        with open(acc_path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                true_accuracies[row["source"]] = float(row["accuracy"])
+
+    return FusionDataset(
+        observations,
+        ground_truth=ground_truth,
+        source_features=source_features,
+        true_accuracies=true_accuracies,
+        name=name,
+    )

@@ -1,0 +1,126 @@
+"""Shared machinery for the paper-dataset simulators.
+
+The paper evaluates on four proprietary/non-redistributable datasets
+(Stocks, Demonstrations, Crowd, Genomics).  Each simulator in this package
+generates a synthetic dataset matched to the Table 1 statistics *and* to the
+mechanism the paper identifies as driving that dataset's results (e.g.
+correlated news sources for Demonstrations, feature-dominated accuracy for
+Genomics).  See DESIGN.md section 3 for the substitution rationale.
+
+This module holds the pieces all simulators share: feature-driven accuracy
+sampling and observation-noise models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..optim.numerics import logit, sigmoid
+
+
+def feature_driven_accuracies(
+    logits: np.ndarray,
+    target_mean: float,
+    rng: np.random.Generator,
+    noise_scale: float = 0.3,
+    clip: Tuple[float, float] = (0.02, 0.98),
+) -> np.ndarray:
+    """Turn per-source log-odds contributions into accuracies.
+
+    The feature contributions are centered, a base log-odds matching
+    ``target_mean`` is added plus idiosyncratic noise, and the result is
+    squashed and re-centered so the empirical mean lands on ``target_mean``.
+    """
+    centered = logits - float(np.mean(logits))
+    base = float(logit(target_mean))
+    noise = rng.normal(scale=noise_scale, size=logits.shape[0])
+    accuracies = sigmoid(base + centered + noise)
+    accuracies = np.clip(accuracies, *clip)
+    accuracies = accuracies + (target_mean - float(np.mean(accuracies)))
+    return np.clip(accuracies, *clip)
+
+
+def quantile_levels(
+    values: np.ndarray, n_levels: int, prefix: str = "Q"
+) -> List[str]:
+    """Discretize numeric values into ``n_levels`` quantile labels.
+
+    Simulators pre-discretize their numeric metadata (the paper does the
+    same with Alexa statistics), so Table 1's "# Feature Values" is a
+    controlled quantity.
+    """
+    edges = np.quantile(values, np.linspace(0, 1, n_levels + 1)[1:-1])
+    bins = np.searchsorted(edges, values, side="right")
+    return [f"{prefix}{int(b) + 1}" for b in bins]
+
+
+def draw_claims(
+    rng: np.random.Generator,
+    accuracies: np.ndarray,
+    pairs: Sequence[Tuple[int, int]],
+    true_values: Sequence[object],
+    wrong_value: Callable[[np.random.Generator, int], object],
+) -> Dict[Tuple[int, int], object]:
+    """Sample a claim per (source, object) pair.
+
+    ``wrong_value(rng, obj)`` supplies an incorrect value for the object
+    when the source errs; correctness is Bernoulli(``accuracies[source]``).
+    """
+    claims: Dict[Tuple[int, int], object] = {}
+    for source, obj in pairs:
+        if rng.random() < accuracies[source]:
+            claims[(source, obj)] = true_values[obj]
+        else:
+            claims[(source, obj)] = wrong_value(rng, obj)
+    return claims
+
+
+def ensure_truth_claimed(
+    rng: np.random.Generator,
+    claims: Dict[Tuple[int, int], object],
+    true_values: Sequence[object],
+    n_objects: int,
+) -> None:
+    """Enforce single-truth semantics in place.
+
+    Any object whose true value no source claims gets one randomly chosen
+    observer flipped to the truth (the paper's datasets satisfy "at least
+    one source provides the correct value" by construction).
+    """
+    holders: Dict[int, List[int]] = {}
+    has_truth = [False] * n_objects
+    for (source, obj), value in claims.items():
+        holders.setdefault(obj, []).append(source)
+        if value == true_values[obj]:
+            has_truth[obj] = True
+    for obj in range(n_objects):
+        if has_truth[obj] or obj not in holders:
+            continue
+        lucky = holders[obj][int(rng.integers(len(holders[obj])))]
+        claims[(lucky, obj)] = true_values[obj]
+
+
+def bernoulli_pairs(
+    rng: np.random.Generator, n_sources: int, n_objects: int, density: float
+) -> List[Tuple[int, int]]:
+    """All (source, object) pairs selected i.i.d. with probability ``density``."""
+    mask = rng.random((n_sources, n_objects)) < density
+    sources, objects = np.nonzero(mask)
+    return list(zip(sources.tolist(), objects.tolist()))
+
+
+def panel_pairs(
+    rng: np.random.Generator, n_sources: int, n_objects: int, panel_size: int
+) -> List[Tuple[int, int]]:
+    """Each object observed by a uniform random panel of ``panel_size`` sources.
+
+    Used by the Crowd simulator (every tweet is labeled by exactly 20
+    workers in the original dataset).
+    """
+    pairs: List[Tuple[int, int]] = []
+    for obj in range(n_objects):
+        panel = rng.choice(n_sources, size=min(panel_size, n_sources), replace=False)
+        pairs.extend((int(source), obj) for source in panel)
+    return pairs

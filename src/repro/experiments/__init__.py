@@ -1,0 +1,74 @@
+"""Experiment harness and drivers for every paper table and figure."""
+
+from .harness import (
+    CellKey,
+    CellStats,
+    RunResult,
+    aggregate,
+    best_method_per_cell,
+    run_method,
+    sweep,
+)
+from .methods import TABLE2_METHODS, TABLE3_METHODS, available_methods, get_method
+from .paper_figures import CopyingReport, LassoReport, figure7, figure8, lasso_figure
+from .paper_tables import (
+    PAPER_FRACTIONS,
+    OptimizerRow,
+    SweepReport,
+    run_sweep,
+    table1,
+    table2,
+    table2_panel_b,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from .reporting import accuracy_matrix, format_table, series
+from .synthetic_sweeps import (
+    SweepPoint,
+    TradeoffCell,
+    figure4a,
+    figure4b,
+    figure4c,
+    figure5_grid,
+)
+
+__all__ = [
+    "run_method",
+    "sweep",
+    "aggregate",
+    "best_method_per_cell",
+    "RunResult",
+    "CellKey",
+    "CellStats",
+    "available_methods",
+    "get_method",
+    "TABLE2_METHODS",
+    "TABLE3_METHODS",
+    "PAPER_FRACTIONS",
+    "SweepReport",
+    "run_sweep",
+    "table1",
+    "table2",
+    "table2_panel_b",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "OptimizerRow",
+    "lasso_figure",
+    "LassoReport",
+    "figure7",
+    "figure8",
+    "CopyingReport",
+    "figure4a",
+    "figure4b",
+    "figure4c",
+    "figure5_grid",
+    "SweepPoint",
+    "TradeoffCell",
+    "accuracy_matrix",
+    "format_table",
+    "series",
+]

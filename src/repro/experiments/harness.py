@@ -1,0 +1,135 @@
+"""Experiment harness: run methods over datasets with the paper's protocol.
+
+The protocol (Section 5.1, "Evaluation Methodology"):
+
+* ground truth for ``train_fraction`` of the objects is revealed at random;
+* the method fuses the full dataset using the revealed labels;
+* object-value accuracy is measured on the *test* objects only;
+* source-accuracy error is measured against empirical accuracies computed
+  from all ground truth;
+* every configuration is repeated over several seeds and averaged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.metrics import dataset_source_accuracy_error, object_value_accuracy
+from .methods import get_method
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (method, dataset, fraction, seed) run."""
+
+    method: str
+    dataset: str
+    train_fraction: float
+    seed: int
+    object_accuracy: float
+    source_error: float  # nan when the method has no accuracy estimates
+    runtime_seconds: float
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+
+def run_method(
+    dataset: FusionDataset,
+    method: str,
+    train_fraction: float,
+    seed: int = 0,
+) -> RunResult:
+    """Run one method once under the paper's protocol."""
+    split = dataset.split(train_fraction, seed=seed)
+    runner = get_method(method)
+    started = time.perf_counter()
+    result = runner(dataset, split.train_truth)
+    runtime = time.perf_counter() - started
+
+    accuracy = object_value_accuracy(
+        result.values, dataset.ground_truth, split.test_objects
+    )
+    if result.source_accuracies is not None:
+        source_error = dataset_source_accuracy_error(dataset, result.source_accuracies)
+    else:
+        source_error = float("nan")
+    return RunResult(
+        method=method,
+        dataset=dataset.name,
+        train_fraction=train_fraction,
+        seed=seed,
+        object_accuracy=accuracy,
+        source_error=source_error,
+        runtime_seconds=runtime,
+        diagnostics=dict(result.diagnostics),
+    )
+
+
+def sweep(
+    dataset: FusionDataset,
+    methods: Sequence[str],
+    train_fractions: Sequence[float],
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[RunResult]:
+    """Full sweep: every method x fraction x seed."""
+    results: List[RunResult] = []
+    for fraction in train_fractions:
+        for method in methods:
+            for seed in seeds:
+                results.append(run_method(dataset, method, fraction, seed))
+    return results
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Aggregation key: one cell of a paper table."""
+
+    dataset: str
+    method: str
+    train_fraction: float
+
+
+@dataclass
+class CellStats:
+    """Seed-averaged statistics for a table cell."""
+
+    object_accuracy: float
+    source_error: float
+    runtime_seconds: float
+    n_runs: int
+
+
+def aggregate(results: Iterable[RunResult]) -> Dict[CellKey, CellStats]:
+    """Average results over seeds per (dataset, method, fraction) cell."""
+    grouped: Dict[CellKey, List[RunResult]] = {}
+    for result in results:
+        key = CellKey(result.dataset, result.method, result.train_fraction)
+        grouped.setdefault(key, []).append(result)
+    cells: Dict[CellKey, CellStats] = {}
+    for key, runs in grouped.items():
+        accuracies = [r.object_accuracy for r in runs]
+        errors = [r.source_error for r in runs if not np.isnan(r.source_error)]
+        runtimes = [r.runtime_seconds for r in runs]
+        cells[key] = CellStats(
+            object_accuracy=float(np.mean(accuracies)),
+            source_error=float(np.mean(errors)) if errors else float("nan"),
+            runtime_seconds=float(np.mean(runtimes)),
+            n_runs=len(runs),
+        )
+    return cells
+
+
+def best_method_per_cell(
+    cells: Dict[CellKey, CellStats],
+) -> Dict[tuple, str]:
+    """For each (dataset, fraction), the method with the best accuracy."""
+    best: Dict[tuple, tuple] = {}
+    for key, stats in cells.items():
+        group = (key.dataset, key.train_fraction)
+        if group not in best or stats.object_accuracy > best[group][1]:
+            best[group] = (key.method, stats.object_accuracy)
+    return {group: method for group, (method, _) in best.items()}

@@ -1,0 +1,101 @@
+"""Registry of the data-fusion methods under evaluation.
+
+Names follow the paper's Table 2 conventions:
+
+========================  =================================================
+Name                      Meaning
+========================  =================================================
+``slimfast``              full SLiMFast with the EM/ERM optimizer
+``slimfast-erm``          SLiMFast always using ERM
+``slimfast-em``           SLiMFast always using EM
+``sources-erm``           no domain features, ERM
+``sources-em``            no domain features, EM (discriminative Zhao et al.)
+``counts``                Naive Bayes with ground-truth-counted accuracies
+``accu``                  Dong et al. Bayesian fusion
+``catd``                  Li et al. confidence-aware truth discovery
+``sstf``                  Yin & Tan semi-supervised truth finding
+``majority``              unweighted vote
+``truthfinder``           Yin et al. iterative trust (extra comparator)
+========================  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..baselines import Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder
+from ..core.slimfast import SLiMFast
+from ..fusion.dataset import FusionDataset
+from ..fusion.result import FusionResult
+from ..fusion.types import ObjectId, Value
+
+MethodRunner = Callable[
+    [FusionDataset, Optional[Mapping[ObjectId, Value]]], FusionResult
+]
+
+
+def _slimfast_runner(**kwargs: object) -> MethodRunner:
+    def run(dataset, train_truth):
+        return SLiMFast(**kwargs).fit_predict(dataset, train_truth)
+
+    return run
+
+
+def _baseline_runner(factory: Callable[[], object]) -> MethodRunner:
+    def run(dataset, train_truth):
+        return factory().fit_predict(dataset, train_truth)
+
+    return run
+
+
+_REGISTRY: Dict[str, Callable[[], MethodRunner]] = {
+    "slimfast": lambda: _slimfast_runner(learner="auto"),
+    "slimfast-erm": lambda: _slimfast_runner(learner="erm"),
+    "slimfast-em": lambda: _slimfast_runner(learner="em"),
+    "sources-erm": lambda: _slimfast_runner(learner="erm", use_features=False),
+    "sources-em": lambda: _slimfast_runner(learner="em", use_features=False),
+    "sources-auto": lambda: _slimfast_runner(learner="auto", use_features=False),
+    "counts": lambda: _baseline_runner(Counts),
+    "accu": lambda: _baseline_runner(Accu),
+    "catd": lambda: _baseline_runner(Catd),
+    "sstf": lambda: _baseline_runner(Sstf),
+    "majority": lambda: _baseline_runner(MajorityVote),
+    "truthfinder": lambda: _baseline_runner(TruthFinder),
+}
+
+#: The method lineup of paper Table 2, in column order.
+TABLE2_METHODS: List[str] = [
+    "slimfast",
+    "slimfast-erm",
+    "slimfast-em",
+    "sources-erm",
+    "sources-em",
+    "counts",
+    "accu",
+    "catd",
+    "sstf",
+]
+
+#: Methods with probabilistic accuracy estimates (paper Table 3).
+TABLE3_METHODS: List[str] = [
+    "slimfast",
+    "sources-erm",
+    "sources-em",
+    "counts",
+    "accu",
+]
+
+
+def available_methods() -> List[str]:
+    """All registered method names."""
+    return sorted(_REGISTRY)
+
+
+def get_method(name: str) -> MethodRunner:
+    """Instantiate a fresh runner for ``name``."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown method {name!r}; available: {', '.join(available_methods())}"
+        ) from None

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .harness import CellKey, CellStats
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table with per-column width fitting."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def accuracy_matrix(
+    cells: Mapping[CellKey, CellStats],
+    dataset: str,
+    methods: Sequence[str],
+    fractions: Sequence[float],
+    metric: str = "object_accuracy",
+) -> str:
+    """Render one dataset block of Table 2/3/5.
+
+    ``metric`` selects ``object_accuracy``, ``source_error`` or
+    ``runtime_seconds``.
+    """
+    headers = ["TD (%)"] + list(methods)
+    rows: List[List[object]] = []
+    for fraction in fractions:
+        row: List[object] = [f"{fraction * 100:g}"]
+        for method in methods:
+            stats = cells.get(CellKey(dataset, method, fraction))
+            row.append(getattr(stats, metric) if stats is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=f"{dataset} — {metric}")
+
+
+def series(
+    points: Mapping[float, float], x_label: str, y_label: str, title: str = ""
+) -> str:
+    """Render an (x, y) series — one paper figure curve — as a table."""
+    headers = [x_label, y_label]
+    rows = [[f"{x:g}", y] for x, y in sorted(points.items())]
+    return format_table(headers, rows, title=title)

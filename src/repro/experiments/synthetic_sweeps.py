@@ -1,0 +1,208 @@
+"""EM-versus-ERM synthetic sweeps (paper Example 6, Figures 4 and 5).
+
+The paper probes the EM/ERM tradeoff on a 1000-source x 1000-object
+synthetic instance, varying
+
+* (a) the amount of ground truth (Figure 4a),
+* (b) the observation density (Figure 4b),
+* (c) the average source accuracy (Figure 4c),
+
+with EM and ERM corresponding to the Sources-EM / Sources-ERM variants
+(paper footnote 4).  Figure 5 summarizes the winner over the
+(training data x accuracy x density) grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.slimfast import SLiMFast
+from ..data.synthetic import SyntheticConfig, generate
+from ..fusion.metrics import object_value_accuracy
+
+
+@dataclass
+class SweepPoint:
+    """EM and ERM accuracy at one sweep setting."""
+
+    x: float
+    em_accuracy: float
+    erm_accuracy: float
+
+    @property
+    def winner(self) -> str:
+        if abs(self.em_accuracy - self.erm_accuracy) < 1e-9:
+            return "tie"
+        return "em" if self.em_accuracy > self.erm_accuracy else "erm"
+
+
+def _em_vs_erm(
+    config: SyntheticConfig,
+    train_fraction: float,
+    seeds: Sequence[int],
+    erm_intercept: bool = False,
+) -> Tuple[float, float]:
+    """Seed-averaged (EM accuracy, ERM accuracy) for one configuration.
+
+    ``erm_intercept`` adds a shared bias to the ERM accuracy model.  The
+    paper's Equation 3 has none (sources with few labeled observations
+    shrink toward accuracy 0.5); with the intercept they shrink toward
+    the labeled population mean instead, which is how ERM stays
+    competitive on very sparse instances.  Both variants are reported by
+    the Figure 4 benchmarks.
+    """
+    from ..core.erm import ERMConfig
+
+    em_scores: List[float] = []
+    erm_scores: List[float] = []
+    for seed in seeds:
+        dataset = generate(config, seed=seed).dataset
+        split = dataset.split(train_fraction, seed=seed)
+        for learner, scores in (("em", em_scores), ("erm", erm_scores)):
+            erm_config = ERMConfig(use_features=False, intercept=erm_intercept)
+            result = SLiMFast(
+                learner=learner, use_features=False, erm_config=erm_config
+            ).fit_predict(dataset, split.train_truth)
+            scores.append(
+                object_value_accuracy(
+                    result.values, dataset.ground_truth, split.test_objects
+                )
+            )
+    return float(np.mean(em_scores)), float(np.mean(erm_scores))
+
+
+def figure4a(
+    train_fractions: Sequence[float] = (0.01, 0.10, 0.20, 0.40, 0.60),
+    avg_accuracy: float = 0.7,
+    density: float = 0.01,
+    n_sources: int = 1000,
+    n_objects: int = 1000,
+    seeds: Sequence[int] = (0, 1, 2),
+    erm_intercept: bool = False,
+) -> List[SweepPoint]:
+    """Figure 4(a): accuracy vs training-data fraction."""
+    config = SyntheticConfig(
+        n_sources=n_sources,
+        n_objects=n_objects,
+        density=density,
+        avg_accuracy=avg_accuracy,
+        name="fig4a",
+    )
+    points = []
+    for fraction in train_fractions:
+        em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept)
+        points.append(SweepPoint(x=fraction, em_accuracy=em, erm_accuracy=erm))
+    return points
+
+
+def figure4b(
+    densities: Sequence[float] = (0.005, 0.010, 0.015, 0.020),
+    avg_accuracy: float = 0.6,
+    train_observations: int = 400,
+    n_sources: int = 1000,
+    n_objects: int = 1000,
+    seeds: Sequence[int] = (0, 1, 2),
+    erm_intercept: bool = False,
+) -> List[SweepPoint]:
+    """Figure 4(b): accuracy vs density at fixed ground-truth *observations*.
+
+    The paper fixes training data at 400 source observations; the object
+    fraction revealed therefore shrinks as density grows.
+    """
+    points = []
+    for density in densities:
+        config = SyntheticConfig(
+            n_sources=n_sources,
+            n_objects=n_objects,
+            density=density,
+            avg_accuracy=avg_accuracy,
+            name="fig4b",
+        )
+        observations_per_object = max(n_sources * density, 1.0)
+        fraction = min(train_observations / observations_per_object / n_objects, 1.0)
+        em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept)
+        points.append(SweepPoint(x=density, em_accuracy=em, erm_accuracy=erm))
+    return points
+
+
+def figure4c(
+    accuracies: Sequence[float] = (0.5, 0.6, 0.7, 0.8),
+    density: float = 0.005,
+    train_fraction: float = 0.05,
+    n_sources: int = 1000,
+    n_objects: int = 1000,
+    seeds: Sequence[int] = (0, 1, 2),
+    erm_intercept: bool = False,
+) -> List[SweepPoint]:
+    """Figure 4(c): accuracy vs average source accuracy."""
+    points = []
+    for avg_accuracy in accuracies:
+        config = SyntheticConfig(
+            n_sources=n_sources,
+            n_objects=n_objects,
+            density=density,
+            avg_accuracy=avg_accuracy,
+            name="fig4c",
+        )
+        em, erm = _em_vs_erm(config, train_fraction, seeds, erm_intercept)
+        points.append(SweepPoint(x=avg_accuracy, em_accuracy=em, erm_accuracy=erm))
+    return points
+
+
+@dataclass
+class TradeoffCell:
+    """One cell of the Figure 5 grid."""
+
+    train_fraction: float
+    avg_accuracy: float
+    density: float
+    winner: str
+    em_accuracy: float
+    erm_accuracy: float
+
+
+def figure5_grid(
+    train_fractions: Sequence[float] = (0.01, 0.20),
+    accuracies: Sequence[float] = (0.55, 0.75),
+    densities: Sequence[float] = (0.005, 0.02),
+    n_sources: int = 400,
+    n_objects: int = 400,
+    seeds: Sequence[int] = (0, 1),
+    tie_margin: float = 0.005,
+    erm_intercept: bool = True,
+) -> List[TradeoffCell]:
+    """Figure 5: the EM/ERM winner over the tradeoff grid.
+
+    Cells within ``tie_margin`` accuracy report ``"-"`` (the paper's dash:
+    the best algorithm varies).
+    """
+    cells = []
+    for fraction in train_fractions:
+        for accuracy in accuracies:
+            for density in densities:
+                config = SyntheticConfig(
+                    n_sources=n_sources,
+                    n_objects=n_objects,
+                    density=density,
+                    avg_accuracy=accuracy,
+                    name="fig5",
+                )
+                em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept)
+                if abs(em - erm) <= tie_margin:
+                    winner = "-"
+                else:
+                    winner = "em" if em > erm else "erm"
+                cells.append(
+                    TradeoffCell(
+                        train_fraction=fraction,
+                        avg_accuracy=accuracy,
+                        density=density,
+                        winner=winner,
+                        em_accuracy=em,
+                        erm_accuracy=erm,
+                    )
+                )
+    return cells

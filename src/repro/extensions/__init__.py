@@ -1,0 +1,59 @@
+"""Extensions the paper describes beyond the core contribution.
+
+* :mod:`repro.extensions.open_world` — wildcard "unknown truth" values
+  (Section 2's open-world remark).
+* :mod:`repro.extensions.class_aware` — per-object-class source
+  accuracies (Section 2's relaxation remark).
+* :mod:`repro.extensions.streaming` — single-pass fusion with online
+  reliability tracking (Section 6, streaming fusion).
+* :mod:`repro.extensions.selection` — budgeted source selection from
+  estimated accuracies (the intro's data-acquisition motivation).
+* :mod:`repro.extensions.calibration` — posterior calibration
+  diagnostics backing the "margin of error" use case.
+"""
+
+from .calibration import (
+    ReliabilityPoint,
+    confidence_threshold_for_precision,
+    coverage_at_threshold,
+    expected_calibration_error,
+    reliability_curve,
+)
+from .class_aware import ClassAwareResult, ClassAwareSLiMFast
+from .open_world import (
+    UNKNOWN,
+    OpenWorldResult,
+    OpenWorldSLiMFast,
+    calibrate_theta,
+    open_world_posteriors,
+)
+from .selection import (
+    SelectionStep,
+    coverage_utility,
+    evaluate_selection,
+    greedy_select,
+    rank_sources,
+)
+from .streaming import StreamingFuser, replay_dataset
+
+__all__ = [
+    "UNKNOWN",
+    "OpenWorldSLiMFast",
+    "OpenWorldResult",
+    "open_world_posteriors",
+    "calibrate_theta",
+    "ClassAwareSLiMFast",
+    "ClassAwareResult",
+    "StreamingFuser",
+    "replay_dataset",
+    "rank_sources",
+    "greedy_select",
+    "coverage_utility",
+    "evaluate_selection",
+    "SelectionStep",
+    "reliability_curve",
+    "ReliabilityPoint",
+    "expected_calibration_error",
+    "confidence_threshold_for_precision",
+    "coverage_at_threshold",
+]

@@ -1,0 +1,146 @@
+"""Posterior calibration diagnostics.
+
+SLiMFast's probabilistic semantics promise interpretable posteriors: the
+paper's diagnosis use case ("formal guarantees that the returned
+associations are correct within a certain margin of error") needs the
+posterior probabilities to be *calibrated* — among objects predicted with
+confidence ~0.9, about 90% should actually be correct.
+
+This module measures that:
+
+* :func:`reliability_curve` — bucketed confidence-vs-accuracy points;
+* :func:`expected_calibration_error` — the standard ECE summary;
+* :func:`confidence_threshold_for_precision` — the smallest posterior
+  confidence at which the empirical precision reaches a target (the
+  "margin of error" dial for the genomics curator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..fusion.types import ObjectId, Value
+
+
+@dataclass
+class ReliabilityPoint:
+    """One confidence bucket of the reliability curve."""
+
+    confidence_low: float
+    confidence_high: float
+    mean_confidence: float
+    accuracy: float
+    count: int
+
+
+def _predictions_with_confidence(
+    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    truth: Mapping[ObjectId, Value],
+) -> List[Tuple[float, bool]]:
+    pairs: List[Tuple[float, bool]] = []
+    for obj, expected in truth.items():
+        dist = posteriors.get(obj)
+        if not dist:
+            continue
+        predicted = max(dist, key=dist.get)
+        pairs.append((float(dist[predicted]), predicted == expected))
+    return pairs
+
+
+def reliability_curve(
+    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    truth: Mapping[ObjectId, Value],
+    n_buckets: int = 10,
+) -> List[ReliabilityPoint]:
+    """Bucketed confidence-vs-accuracy curve over labeled objects."""
+    pairs = _predictions_with_confidence(posteriors, truth)
+    if not pairs:
+        return []
+    edges = np.linspace(0.0, 1.0, n_buckets + 1)
+    points: List[ReliabilityPoint] = []
+    for i in range(n_buckets):
+        low, high = float(edges[i]), float(edges[i + 1])
+        bucket = [
+            (confidence, correct)
+            for confidence, correct in pairs
+            if low <= confidence < high or (i == n_buckets - 1 and confidence == 1.0)
+        ]
+        if not bucket:
+            continue
+        confidences = [c for c, _ in bucket]
+        corrects = [int(ok) for _, ok in bucket]
+        points.append(
+            ReliabilityPoint(
+                confidence_low=low,
+                confidence_high=high,
+                mean_confidence=float(np.mean(confidences)),
+                accuracy=float(np.mean(corrects)),
+                count=len(bucket),
+            )
+        )
+    return points
+
+
+def expected_calibration_error(
+    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    truth: Mapping[ObjectId, Value],
+    n_buckets: int = 10,
+) -> float:
+    """ECE: count-weighted |confidence - accuracy| over the buckets."""
+    points = reliability_curve(posteriors, truth, n_buckets)
+    total = sum(point.count for point in points)
+    if total == 0:
+        return float("nan")
+    return float(
+        sum(
+            point.count * abs(point.mean_confidence - point.accuracy)
+            for point in points
+        )
+        / total
+    )
+
+
+def confidence_threshold_for_precision(
+    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    truth: Mapping[ObjectId, Value],
+    target_precision: float,
+) -> Optional[float]:
+    """Smallest confidence threshold achieving ``target_precision``.
+
+    Predictions with confidence >= threshold are "accepted"; the returned
+    threshold is the lowest one whose accepted set has empirical precision
+    at or above the target.  Returns ``None`` when even the most confident
+    predictions miss the target.
+    """
+    pairs = sorted(
+        _predictions_with_confidence(posteriors, truth), key=lambda p: -p[0]
+    )
+    if not pairs:
+        return None
+    best: Optional[float] = None
+    correct = 0
+    for i, (confidence, ok) in enumerate(pairs, start=1):
+        correct += int(ok)
+        if correct / i >= target_precision:
+            best = confidence
+    return best
+
+
+def coverage_at_threshold(
+    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    truth: Mapping[ObjectId, Value],
+    threshold: float,
+) -> Tuple[float, float]:
+    """(coverage, precision) of accepting predictions above ``threshold``."""
+    pairs = _predictions_with_confidence(posteriors, truth)
+    if not pairs:
+        return 0.0, float("nan")
+    accepted = [(c, ok) for c, ok in pairs if c >= threshold]
+    coverage = len(accepted) / len(pairs)
+    precision = (
+        float(np.mean([int(ok) for _, ok in accepted])) if accepted else float("nan")
+    )
+    return coverage, precision

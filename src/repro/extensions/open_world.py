@@ -1,0 +1,163 @@
+"""Open-world semantics (paper Section 2).
+
+The core model assumes single-truth *closed-world* semantics: every
+object's true value is claimed by at least one source.  The paper notes
+the model "can support open-world semantics ... by allowing variables
+``v*_o`` to take a wildcard value corresponding to the unknown truth".
+
+This module implements exactly that: each object's candidate set is
+extended with a wildcard :data:`UNKNOWN` value whose score is a learned
+(or user-set) scalar ``theta``.  Objects whose claimed values are all
+weakly supported then resolve to UNKNOWN instead of being forced onto a
+claimed value — the behaviour a curator wants when no source is credible.
+
+The wildcard's weight can be calibrated from ground truth containing
+UNKNOWN labels (objects known to have no correct claim), or set manually
+as an abstention threshold in log-odds units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..core.model import AccuracyModel
+from ..core.structure import PairStructure, build_pair_structure
+from ..core.inference import pair_scores
+from ..fusion.dataset import FusionDataset
+from ..fusion.result import FusionResult
+from ..fusion.types import ObjectId, Value
+from ..optim.numerics import softmax
+
+#: The wildcard value representing "no claimed value is correct".
+UNKNOWN: Value = "__unknown__"
+
+
+@dataclass
+class OpenWorldResult:
+    """Open-world fusion output.
+
+    Attributes
+    ----------
+    result:
+        Standard :class:`FusionResult`; objects may map to :data:`UNKNOWN`.
+    abstained:
+        Objects resolved to the wildcard.
+    theta:
+        The wildcard score used.
+    """
+
+    result: FusionResult
+    abstained: frozenset
+    theta: float
+
+
+def open_world_posteriors(
+    dataset: FusionDataset,
+    model: AccuracyModel,
+    theta: float,
+    structure: Optional[PairStructure] = None,
+) -> Dict[ObjectId, Dict[Value, float]]:
+    """Posteriors with an UNKNOWN candidate of log-score ``theta`` per object.
+
+    ``theta`` competes against the trust-weighted claimed values: an object
+    whose best claimed value scores below ``theta`` resolves to UNKNOWN.
+    """
+    structure = structure if structure is not None else build_pair_structure(dataset)
+    scores = pair_scores(structure, model.trust_scores())
+    posteriors: Dict[ObjectId, Dict[Value, float]] = {}
+    for position, obj in enumerate(structure.object_ids):
+        rows = structure.rows_of(position)
+        block = np.concatenate([scores[rows.start : rows.stop], [theta]])
+        probs = softmax(block)
+        dist = {
+            structure.pair_values[row]: float(probs[i])
+            for i, row in enumerate(rows)
+        }
+        dist[UNKNOWN] = float(probs[-1])
+        posteriors[obj] = dist
+    return posteriors
+
+
+def calibrate_theta(
+    dataset: FusionDataset,
+    model: AccuracyModel,
+    truth: Mapping[ObjectId, Value],
+    grid: Optional[np.ndarray] = None,
+) -> float:
+    """Pick the wildcard score maximizing labeled open-world accuracy.
+
+    ``truth`` may label objects with :data:`UNKNOWN` (no claimed value is
+    correct) alongside ordinary values; the chosen ``theta`` balances
+    abstaining on the former against keeping the latter resolved.
+    """
+    if grid is None:
+        grid = np.linspace(-5.0, 8.0, 27)
+    structure = build_pair_structure(dataset)
+    best_theta = float(grid[0])
+    best_accuracy = -1.0
+    for theta in grid:
+        posteriors = open_world_posteriors(dataset, model, float(theta), structure)
+        correct = 0
+        for obj, expected in truth.items():
+            dist = posteriors.get(obj)
+            if dist is None:
+                continue
+            predicted = max(dist, key=dist.get)
+            correct += int(predicted == expected)
+        accuracy = correct / max(len(truth), 1)
+        if accuracy > best_accuracy:
+            best_accuracy = accuracy
+            best_theta = float(theta)
+    return best_theta
+
+
+class OpenWorldSLiMFast:
+    """Open-world wrapper around a fitted accuracy model.
+
+    Usage::
+
+        fuser = SLiMFast().fit(dataset, train_truth)
+        ow = OpenWorldSLiMFast(theta=2.0)   # or theta=None + calibrate
+        out = ow.predict(dataset, fuser.model_, train_truth)
+        out.result.values                    # may contain UNKNOWN
+    """
+
+    def __init__(self, theta: Optional[float] = None) -> None:
+        self.theta = theta
+
+    def predict(
+        self,
+        dataset: FusionDataset,
+        model: AccuracyModel,
+        truth: Optional[Mapping[ObjectId, Value]] = None,
+    ) -> OpenWorldResult:
+        """Open-world inference; calibrates ``theta`` from ``truth`` if unset."""
+        theta = self.theta
+        if theta is None:
+            if not truth:
+                raise ValueError(
+                    "theta is unset and no ground truth was given to calibrate it"
+                )
+            theta = calibrate_theta(dataset, model, truth)
+        posteriors = open_world_posteriors(dataset, model, theta)
+        values = {
+            obj: max(dist, key=dist.get) for obj, dist in posteriors.items()
+        }
+        if truth:
+            for obj, expected in truth.items():
+                if obj in values:
+                    values[obj] = expected
+        abstained = frozenset(
+            obj for obj, value in values.items() if value == UNKNOWN
+        )
+        result = FusionResult(
+            values=values,
+            posteriors=posteriors,
+            source_accuracies=model.accuracy_map(),
+            method="slimfast-open-world",
+            diagnostics={"theta": theta, "n_abstained": len(abstained)},
+        )
+        return OpenWorldResult(result=result, abstained=abstained, theta=theta)

@@ -1,0 +1,194 @@
+"""Streaming data fusion (paper Section 6, "Efficiency of data fusion").
+
+The paper's related work points at single-pass streaming truth discovery
+[44] as the answer to fusion over high-rate feeds.  This module provides a
+streaming counterpart of SLiMFast's accuracy model:
+
+* per-source accuracy is tracked as a Beta posterior over correctness,
+  updated online from (a) revealed ground truth and (b) the running
+  fused estimate of each object (self-training, optional);
+* object posteriors are maintained incrementally — each arriving
+  observation only touches its own object's score table;
+* exponential decay lets source reliability drift over time (sources go
+  stale; the decay half-life is configurable).
+
+This trades the batch model's guarantees for O(1) work per observation.
+The tests validate it against the batch Counts/SLiMFast estimates on a
+replayed dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..fusion.dataset import FusionDataset
+from ..fusion.result import FusionResult
+from ..fusion.types import ObjectId, Observation, SourceId, Value
+from ..optim.numerics import logit
+
+
+@dataclass
+class _SourceState:
+    """Beta-posterior correctness state of one source."""
+
+    correct: float
+    total: float
+
+    def accuracy(self) -> float:
+        return self.correct / self.total
+
+
+class StreamingFuser:
+    """Single-pass fusion with online source-reliability tracking.
+
+    Parameters
+    ----------
+    prior_correct, prior_total:
+        Beta prior pseudo-counts; the default Beta(1.4, 0.6)-style prior
+        starts every source at 0.7 — the same optimistic initialization
+        the batch EM uses.
+    decay:
+        Multiplicative decay applied to every source's counts per
+        processed observation batch; ``1.0`` disables drift tracking.
+    self_training:
+        When True, observations on unlabeled objects update their source's
+        counts with the current fused estimate (weighted by its posterior
+        confidence); when False only ground-truth feedback counts.
+    """
+
+    def __init__(
+        self,
+        prior_correct: float = 1.4,
+        prior_total: float = 2.0,
+        decay: float = 1.0,
+        self_training: bool = True,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if prior_total <= 0 or prior_correct <= 0 or prior_correct >= prior_total:
+            raise ValueError("priors must satisfy 0 < correct < total")
+        self.prior_correct = prior_correct
+        self.prior_total = prior_total
+        self.decay = decay
+        self.self_training = self_training
+        self._sources: Dict[SourceId, _SourceState] = {}
+        self._truth: Dict[ObjectId, Value] = {}
+        # per-object score table: value -> accumulated trust
+        self._scores: Dict[ObjectId, Dict[Value, float]] = {}
+        # per-object claims: source -> value (for retrospective credit)
+        self._claims: Dict[ObjectId, Dict[SourceId, Value]] = {}
+        self.n_processed = 0
+
+    # ------------------------------------------------------------------
+    def _state(self, source: SourceId) -> _SourceState:
+        state = self._sources.get(source)
+        if state is None:
+            state = _SourceState(self.prior_correct, self.prior_total)
+            self._sources[source] = state
+        return state
+
+    def observe(self, observation: Observation) -> None:
+        """Ingest one observation (O(1) amortized)."""
+        source, obj, value = observation
+        state = self._state(source)
+        if self.decay < 1.0:
+            state.correct *= self.decay
+            state.total *= self.decay
+            state.correct = max(state.correct, 1e-6)
+            state.total = max(state.total, 2e-6)
+
+        trust = float(logit(state.accuracy()))
+        self._scores.setdefault(obj, {})
+        self._scores[obj][value] = self._scores[obj].get(value, 0.0) + trust
+        self._claims.setdefault(obj, {})[source] = value
+
+        expected = self._truth.get(obj)
+        if expected is not None:
+            state.correct += 1.0 if value == expected else 0.0
+            state.total += 1.0
+        elif self.self_training:
+            confidence = self.posterior(obj).get(value, 0.0)
+            state.correct += confidence
+            state.total += 1.0
+        self.n_processed += 1
+
+    def reveal_truth(self, obj: ObjectId, value: Value) -> None:
+        """Feed a ground-truth label; retroactively credits past claims."""
+        self._truth[obj] = value
+        for source, claimed in self._claims.get(obj, {}).items():
+            state = self._state(source)
+            state.correct += 1.0 if claimed == value else 0.0
+            state.total += 1.0
+
+    # ------------------------------------------------------------------
+    def posterior(self, obj: ObjectId) -> Dict[Value, float]:
+        """Current posterior over the object's claimed values."""
+        scores = self._scores.get(obj)
+        if not scores:
+            return {}
+        if obj in self._truth:
+            clamped = {value: 0.0 for value in scores}
+            clamped[self._truth[obj]] = 1.0  # truth may be unclaimed
+            return clamped
+        values = list(scores)
+        arr = np.asarray([scores[v] for v in values])
+        arr = arr - arr.max()
+        probs = np.exp(arr)
+        probs /= probs.sum()
+        return {value: float(p) for value, p in zip(values, probs)}
+
+    def current_value(self, obj: ObjectId) -> Optional[Value]:
+        """MAP estimate for one object (None if unseen)."""
+        posterior = self.posterior(obj)
+        if not posterior:
+            return None
+        return max(posterior, key=posterior.get)
+
+    def source_accuracies(self) -> Dict[SourceId, float]:
+        """Current accuracy estimate per seen source."""
+        return {source: state.accuracy() for source, state in self._sources.items()}
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        observations: Iterable[Observation],
+        truth: Optional[Dict[ObjectId, Value]] = None,
+    ) -> "StreamingFuser":
+        """Replay an observation stream (truth revealed up front)."""
+        for obj, value in (truth or {}).items():
+            self._truth[obj] = value
+        for observation in observations:
+            self.observe(observation)
+        return self
+
+    def to_result(self) -> FusionResult:
+        """Snapshot the current state as a standard fusion result."""
+        values = {obj: self.current_value(obj) for obj in self._scores}
+        posteriors = {obj: self.posterior(obj) for obj in self._scores}
+        return FusionResult(
+            values=values,
+            posteriors=posteriors,
+            source_accuracies=self.source_accuracies(),
+            method="streaming",
+            diagnostics={"n_processed": self.n_processed},
+        )
+
+
+def replay_dataset(
+    dataset: FusionDataset,
+    train_truth: Optional[Dict[ObjectId, Value]] = None,
+    seed: int = 0,
+    **kwargs: object,
+) -> FusionResult:
+    """Stream a dataset's observations in random order through the fuser."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.n_observations)
+    fuser = StreamingFuser(**kwargs)
+    for obj, value in (train_truth or {}).items():
+        fuser._truth[obj] = value
+    for index in order:
+        fuser.observe(dataset.observations[int(index)])
+    return fuser.to_result()

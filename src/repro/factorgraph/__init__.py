@@ -1,0 +1,33 @@
+"""Factor-graph substrate: the DeepDive replacement.
+
+Provides the representation, Gibbs sampler, dataset compiler and
+pseudo-likelihood learner that back the paper's compilation/learning/
+inference pipeline.  Exact closed-form inference in :mod:`repro.core` is
+the fast path; this package exists for fidelity with the paper's
+architecture and for models with non-unary factors.
+"""
+
+from .compiler import (
+    OFFSET_WEIGHT_ID,
+    CompiledGraph,
+    compile_dataset,
+    compile_with_copying,
+)
+from .gibbs import GibbsResult, GibbsSampler
+from .graph import Factor, FactorGraph, GraphError, Variable
+from .learning import LearningResult, PseudoLikelihoodLearner
+
+__all__ = [
+    "FactorGraph",
+    "Factor",
+    "Variable",
+    "GraphError",
+    "GibbsSampler",
+    "GibbsResult",
+    "CompiledGraph",
+    "compile_dataset",
+    "compile_with_copying",
+    "OFFSET_WEIGHT_ID",
+    "PseudoLikelihoodLearner",
+    "LearningResult",
+]

@@ -1,0 +1,50 @@
+"""Fusion data model: datasets, features, metrics and result containers."""
+
+from .dataset import FusionDataset, Split, subset_sources
+from .features import FeatureSpace, build_design_matrix
+from .metrics import (
+    bernoulli_kl,
+    binary_entropy,
+    dataset_source_accuracy_error,
+    log_loss,
+    mean_accuracy_kl,
+    object_value_accuracy,
+    source_accuracy_error,
+)
+from .result import FusionResult
+from .types import (
+    DatasetError,
+    DatasetStats,
+    FusionError,
+    Indexer,
+    NotFittedError,
+    ObjectId,
+    Observation,
+    SourceId,
+    Value,
+)
+
+__all__ = [
+    "FusionDataset",
+    "Split",
+    "subset_sources",
+    "FeatureSpace",
+    "build_design_matrix",
+    "FusionResult",
+    "Observation",
+    "Indexer",
+    "DatasetStats",
+    "FusionError",
+    "DatasetError",
+    "NotFittedError",
+    "SourceId",
+    "ObjectId",
+    "Value",
+    "object_value_accuracy",
+    "source_accuracy_error",
+    "dataset_source_accuracy_error",
+    "bernoulli_kl",
+    "mean_accuracy_kl",
+    "binary_entropy",
+    "log_loss",
+]

@@ -1,0 +1,313 @@
+"""The :class:`FusionDataset` container.
+
+A fusion dataset bundles everything Section 3 of the paper calls
+"user-specified input": the source observations ``Ω``, optional ground truth
+``G`` (true values for a subset of objects), and optional per-source domain
+feature assignments ``F``.
+
+The container pre-computes integer indexings and per-source / per-object
+observation groupings so that learners can run vectorized numpy code, and it
+offers the train/test splitting protocol used throughout the paper's
+evaluation (random ground-truth reveal of a given fraction, remaining objects
+used as the test set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .types import (
+    DatasetError,
+    DatasetStats,
+    Indexer,
+    ObjectId,
+    Observation,
+    SourceId,
+    Value,
+)
+
+
+@dataclass(frozen=True)
+class Split:
+    """A train/test split of the ground truth.
+
+    Attributes
+    ----------
+    train_truth:
+        Mapping from object id to true value, revealed to the learner.
+    test_objects:
+        Objects whose true value is hidden; metrics are computed on these.
+    """
+
+    train_truth: Dict[ObjectId, Value]
+    test_objects: Tuple[ObjectId, ...]
+
+
+class FusionDataset:
+    """Immutable collection of source observations plus optional side data.
+
+    Parameters
+    ----------
+    observations:
+        Iterable of :class:`Observation` (or ``(source, obj, value)`` triples).
+    ground_truth:
+        Optional mapping ``object id -> true value``.  In the paper's
+        evaluation all datasets come with full ground truth which is then
+        partially revealed for training; the same protocol is supported via
+        :meth:`split`.
+    source_features:
+        Optional mapping ``source id -> {feature name: feature value}``.
+        Feature values may be booleans, categoricals or numerics; the
+        :mod:`repro.fusion.features` module turns them into binary columns.
+    true_accuracies:
+        Optional mapping ``source id -> true accuracy`` used only for
+        evaluation (available for simulated datasets).
+    name:
+        Human-readable dataset name used in reports.
+    """
+
+    def __init__(
+        self,
+        observations: Iterable[Observation | Tuple[SourceId, ObjectId, Value]],
+        ground_truth: Optional[Mapping[ObjectId, Value]] = None,
+        source_features: Optional[Mapping[SourceId, Mapping[str, object]]] = None,
+        true_accuracies: Optional[Mapping[SourceId, float]] = None,
+        name: str = "fusion-dataset",
+    ) -> None:
+        obs_list: List[Observation] = []
+        for entry in observations:
+            if isinstance(entry, Observation):
+                obs_list.append(entry)
+            else:
+                source, obj, value = entry
+                obs_list.append(Observation(source, obj, value))
+        if not obs_list:
+            raise DatasetError("a fusion dataset requires at least one observation")
+
+        self.name = name
+        self._observations: Tuple[Observation, ...] = tuple(obs_list)
+
+        self.sources: Indexer[SourceId] = Indexer()
+        self.objects: Indexer[ObjectId] = Indexer()
+        seen_pairs = set()
+        for obs in self._observations:
+            pair = (obs.source, obs.obj)
+            if pair in seen_pairs:
+                raise DatasetError(
+                    f"duplicate observation for source={obs.source!r} obj={obs.obj!r}"
+                )
+            seen_pairs.add(pair)
+            self.sources.add(obs.source)
+            self.objects.add(obs.obj)
+
+        self.ground_truth: Dict[ObjectId, Value] = dict(ground_truth or {})
+        for obj in self.ground_truth:
+            if obj not in self.objects:
+                raise DatasetError(f"ground truth references unknown object {obj!r}")
+
+        self.source_features: Dict[SourceId, Dict[str, object]] = {
+            src: dict(feats) for src, feats in (source_features or {}).items()
+        }
+        self.true_accuracies: Dict[SourceId, float] = dict(true_accuracies or {})
+
+        self._build_indices()
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    def _build_indices(self) -> None:
+        n_obs = len(self._observations)
+        self.obs_source_idx = np.empty(n_obs, dtype=np.int64)
+        self.obs_object_idx = np.empty(n_obs, dtype=np.int64)
+
+        # Per-object domains (distinct claimed values), in first-seen order.
+        self._domains: List[Indexer[Value]] = [Indexer() for _ in range(len(self.objects))]
+        self.obs_value_idx = np.empty(n_obs, dtype=np.int64)
+
+        obs_by_object: List[List[int]] = [[] for _ in range(len(self.objects))]
+        obs_by_source: List[List[int]] = [[] for _ in range(len(self.sources))]
+
+        for i, obs in enumerate(self._observations):
+            s_idx = self.sources.index(obs.source)
+            o_idx = self.objects.index(obs.obj)
+            self.obs_source_idx[i] = s_idx
+            self.obs_object_idx[i] = o_idx
+            self.obs_value_idx[i] = self._domains[o_idx].add(obs.value)
+            obs_by_object[o_idx].append(i)
+            obs_by_source[s_idx].append(i)
+
+        self._obs_by_object = [np.asarray(rows, dtype=np.int64) for rows in obs_by_object]
+        self._obs_by_source = [np.asarray(rows, dtype=np.int64) for rows in obs_by_source]
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def observations(self) -> Tuple[Observation, ...]:
+        """All observations in input order."""
+        return self._observations
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._observations)
+
+    def domain(self, obj: ObjectId) -> List[Value]:
+        """Distinct values claimed for ``obj`` (the paper's ``D_o``)."""
+        return self._domains[self.objects.index(obj)].items
+
+    def domain_by_index(self, o_idx: int) -> Indexer[Value]:
+        """Domain indexer for the object with integer index ``o_idx``."""
+        return self._domains[o_idx]
+
+    def observations_of_object(self, obj: ObjectId) -> List[Observation]:
+        """All observations that describe ``obj``."""
+        o_idx = self.objects.index(obj)
+        return [self._observations[i] for i in self._obs_by_object[o_idx]]
+
+    def observations_of_source(self, source: SourceId) -> List[Observation]:
+        """All observations made by ``source``."""
+        s_idx = self.sources.index(source)
+        return [self._observations[i] for i in self._obs_by_source[s_idx]]
+
+    def object_observation_rows(self, o_idx: int) -> np.ndarray:
+        """Observation row indices for object index ``o_idx``."""
+        return self._obs_by_object[o_idx]
+
+    def source_observation_rows(self, s_idx: int) -> np.ndarray:
+        """Observation row indices for source index ``s_idx``."""
+        return self._obs_by_source[s_idx]
+
+    def source_observation_counts(self) -> np.ndarray:
+        """Number of observations per source, aligned to source indices."""
+        return np.asarray([len(rows) for rows in self._obs_by_source], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Ground-truth helpers
+    # ------------------------------------------------------------------
+    def empirical_accuracies(
+        self, truth: Optional[Mapping[ObjectId, Value]] = None
+    ) -> Dict[SourceId, float]:
+        """Fraction of each source's claims that match ``truth``.
+
+        Sources with no observation on a truth-labeled object are omitted.
+        When ``truth`` is ``None`` the dataset's full ground truth is used;
+        this is how the paper computes the "true" accuracies that the
+        source-accuracy error metric compares against.
+        """
+        truth = self.ground_truth if truth is None else truth
+        correct: Dict[SourceId, int] = {}
+        total: Dict[SourceId, int] = {}
+        for obs in self._observations:
+            expected = truth.get(obs.obj)
+            if expected is None:
+                continue
+            total[obs.source] = total.get(obs.source, 0) + 1
+            if obs.value == expected:
+                correct[obs.source] = correct.get(obs.source, 0) + 1
+        return {src: correct.get(src, 0) / count for src, count in total.items()}
+
+    def split(self, train_fraction: float, seed: int = 0) -> Split:
+        """Randomly reveal ``train_fraction`` of ground-truth objects.
+
+        This mirrors the paper's evaluation methodology (Section 5.1): splits
+        are generated randomly per seed; objects whose truth is not revealed
+        form the test set.  ``train_fraction`` of 0 yields an empty training
+        set (the fully unsupervised regime).
+        """
+        if not 0.0 <= train_fraction <= 1.0:
+            raise DatasetError(f"train_fraction must be in [0, 1], got {train_fraction}")
+        labeled = sorted(self.ground_truth, key=repr)
+        if not labeled:
+            raise DatasetError("dataset has no ground truth to split")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(labeled))
+        n_train = int(round(train_fraction * len(labeled)))
+        train_ids = {labeled[i] for i in order[:n_train]}
+        train_truth = {obj: self.ground_truth[obj] for obj in train_ids}
+        test_objects = tuple(obj for obj in labeled if obj not in train_ids)
+        return Split(train_truth=train_truth, test_objects=test_objects)
+
+    # ------------------------------------------------------------------
+    # Statistics (paper Table 1)
+    # ------------------------------------------------------------------
+    def stats(self, min_source_observations_for_acc: int = 2) -> DatasetStats:
+        """Summary statistics in the shape of paper Table 1.
+
+        The average source accuracy is reported only when sources have
+        enough observations for the empirical estimate to be meaningful
+        (the paper omits it for Genomics for exactly this reason).
+        """
+        feature_names = sorted({name for feats in self.source_features.values() for name in feats})
+        feature_values = {
+            (name, repr(value))
+            for feats in self.source_features.values()
+            for name, value in feats.items()
+        }
+        counts = self.source_observation_counts()
+        avg_acc: Optional[float] = None
+        if self.ground_truth and counts.size and float(np.mean(counts)) >= min_source_observations_for_acc:
+            accs = self.empirical_accuracies()
+            if accs:
+                avg_acc = float(np.mean(list(accs.values())))
+        return DatasetStats(
+            n_sources=self.n_sources,
+            n_objects=self.n_objects,
+            n_observations=self.n_observations,
+            n_domain_features=len(feature_names),
+            n_feature_values=len(feature_values),
+            avg_source_accuracy=avg_acc,
+            avg_observations_per_object=self.n_observations / self.n_objects,
+            avg_observations_per_source=self.n_observations / self.n_sources,
+            ground_truth_fraction=len(self.ground_truth) / self.n_objects,
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FusionDataset(name={self.name!r}, sources={self.n_sources}, "
+            f"objects={self.n_objects}, observations={self.n_observations})"
+        )
+
+
+def subset_sources(dataset: FusionDataset, keep: Sequence[SourceId]) -> FusionDataset:
+    """Restrict ``dataset`` to observations from ``keep`` sources.
+
+    Used by the source-quality-initialization experiment (paper Section
+    5.3.2), which trains on a fraction of sources and predicts accuracies of
+    the held-out ones.  Objects that lose all observations are dropped from
+    the restricted dataset (and from its ground truth).
+    """
+    keep_set = set(keep)
+    observations = [obs for obs in dataset.observations if obs.source in keep_set]
+    if not observations:
+        raise DatasetError("source subset leaves no observations")
+    remaining_objects = {obs.obj for obs in observations}
+    ground_truth = {
+        obj: value for obj, value in dataset.ground_truth.items() if obj in remaining_objects
+    }
+    source_features = {
+        src: feats for src, feats in dataset.source_features.items() if src in keep_set
+    }
+    true_accuracies = {
+        src: acc for src, acc in dataset.true_accuracies.items() if src in keep_set
+    }
+    return FusionDataset(
+        observations,
+        ground_truth=ground_truth,
+        source_features=source_features,
+        true_accuracies=true_accuracies,
+        name=f"{dataset.name}[{len(keep_set)} sources]",
+    )

@@ -1,0 +1,217 @@
+"""Domain-specific feature engineering (paper Section 3.1).
+
+SLiMFast consumes *binary* domain features: each source either has or does
+not have a feature value such as ``"BounceRate=High"`` or
+``"channel=clixsense"``.  Real metadata is rarely binary, so the paper
+discretizes numeric statistics (e.g. Alexa traffic numbers) into buckets and
+one-hot encodes categoricals ("We found that discretization does not affect
+SLiMFast's performance significantly").
+
+:class:`FeatureSpace` performs exactly that transformation and produces the
+dense ``|S| x |K|`` 0/1 design matrix the learners consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import FusionDataset
+from .types import DatasetError, Indexer, SourceId
+
+
+@dataclass(frozen=True)
+class FeatureColumn:
+    """One binary column of the design matrix.
+
+    Attributes
+    ----------
+    name:
+        Raw feature name this column was derived from.
+    label:
+        Full human-readable column label, e.g. ``"BounceRate=High"``.
+    """
+
+    name: str
+    label: str
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+        value, bool
+    )
+
+
+def _bin_labels(n_bins: int) -> List[str]:
+    """Human-readable ordinal labels for quantile bins."""
+    if n_bins == 2:
+        return ["Low", "High"]
+    if n_bins == 3:
+        return ["Low", "Mid", "High"]
+    return [f"Q{i + 1}" for i in range(n_bins)]
+
+
+class FeatureSpace:
+    """Binary feature encoder for source metadata.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of quantile bins for numeric features (paper uses coarse
+        Low/High style discretization; default 2).
+    include_missing:
+        When True, sources lacking a raw feature get a dedicated
+        ``"name=<missing>"`` column instead of all-zeros for that feature.
+
+    Usage::
+
+        space = FeatureSpace(n_bins=2)
+        design = space.fit(dataset)          # |S| x |K| float matrix
+        space.column_labels                  # names per column
+        row = space.encode({"citations": 12})  # encode a new source
+    """
+
+    def __init__(self, n_bins: int = 2, include_missing: bool = False) -> None:
+        if n_bins < 2:
+            raise DatasetError("n_bins must be at least 2")
+        self.n_bins = n_bins
+        self.include_missing = include_missing
+        self._columns: Indexer[str] = Indexer()
+        self._column_meta: List[FeatureColumn] = []
+        self._numeric_edges: Dict[str, np.ndarray] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, dataset: FusionDataset) -> np.ndarray:
+        """Learn the encoding from ``dataset.source_features`` and encode it.
+
+        Returns the ``|S| x |K|`` design matrix with rows aligned to
+        ``dataset.sources`` index order.  Datasets without features yield a
+        ``|S| x 0`` matrix, which turns SLiMFast into the paper's
+        ``Sources-*`` variants.
+        """
+        metadata = dataset.source_features
+        names = sorted({name for feats in metadata.values() for name in feats})
+
+        for name in names:
+            values = [feats[name] for feats in metadata.values() if name in feats]
+            if values and all(_is_numeric(v) for v in values):
+                self._fit_numeric_column(name, np.asarray(values, dtype=float))
+            else:
+                self._fit_categorical_column(name, values)
+            if self.include_missing:
+                self._add_column(name, f"{name}=<missing>")
+
+        self._fitted = True
+        return self.encode_sources(dataset)
+
+    def _fit_numeric_column(self, name: str, values: np.ndarray) -> None:
+        quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+        edges = np.unique(np.quantile(values, quantiles))
+        # Degenerate edges (at or below the minimum) would create empty
+        # bins; a constant feature collapses to a single bin.
+        edges = edges[(edges > values.min()) & (edges <= values.max())]
+        self._numeric_edges[name] = edges
+        n_actual_bins = len(edges) + 1
+        for label in _bin_labels(self.n_bins)[:n_actual_bins]:
+            self._add_column(name, f"{name}={label}")
+
+    def _fit_categorical_column(self, name: str, values: Sequence[object]) -> None:
+        seen: List[object] = []
+        seen_set = set()
+        for value in values:
+            key = repr(value)
+            if key not in seen_set:
+                seen_set.add(key)
+                seen.append(value)
+        for value in seen:
+            self._add_column(name, f"{name}={value}")
+
+    def _add_column(self, name: str, label: str) -> int:
+        idx = self._columns.add(label)
+        if idx == len(self._column_meta):
+            self._column_meta.append(FeatureColumn(name=name, label=label))
+        return idx
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, features: Mapping[str, object]) -> np.ndarray:
+        """Encode one source's raw feature mapping into a binary row."""
+        if not self._fitted:
+            raise DatasetError("FeatureSpace must be fitted before encoding")
+        row = np.zeros(len(self._columns), dtype=float)
+        for name, value in features.items():
+            label = self._value_label(name, value)
+            if label is not None and label in self._columns:
+                row[self._columns.index(label)] = 1.0
+        if self.include_missing:
+            present = set(features)
+            for column in self._column_meta:
+                if column.label.endswith("=<missing>") and column.name not in present:
+                    row[self._columns.index(column.label)] = 1.0
+        return row
+
+    def _value_label(self, name: str, value: object) -> Optional[str]:
+        if name in self._numeric_edges and _is_numeric(value):
+            edges = self._numeric_edges[name]
+            bin_idx = int(np.searchsorted(edges, float(value), side="right"))
+            labels = _bin_labels(self.n_bins)[: len(edges) + 1]
+            if bin_idx < len(labels):
+                return f"{name}={labels[bin_idx]}"
+            return None
+        return f"{name}={value}"
+
+    def encode_sources(self, dataset: FusionDataset) -> np.ndarray:
+        """Encode every source of ``dataset`` (rows in source-index order)."""
+        if not self._fitted:
+            raise DatasetError("FeatureSpace must be fitted before encoding")
+        rows = np.zeros((dataset.n_sources, len(self._columns)), dtype=float)
+        for source in dataset.sources:
+            feats = dataset.source_features.get(source)
+            if feats or (self.include_missing and feats is not None):
+                rows[dataset.sources.index(source)] = self.encode(feats)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def column_labels(self) -> List[str]:
+        """Labels of all design-matrix columns, in column order."""
+        return self._columns.items
+
+    def columns_for(self, name: str) -> List[Tuple[int, str]]:
+        """(index, label) pairs of the columns derived from raw feature ``name``."""
+        return [
+            (i, column.label)
+            for i, column in enumerate(self._column_meta)
+            if column.name == name
+        ]
+
+
+def build_design_matrix(
+    dataset: FusionDataset,
+    feature_space: Optional[FeatureSpace] = None,
+    use_features: bool = True,
+) -> Tuple[np.ndarray, FeatureSpace]:
+    """Convenience helper returning ``(design, fitted_space)``.
+
+    With ``use_features=False`` the design matrix has zero columns which
+    reduces SLiMFast to the Sources-only variants of the paper.
+    """
+    space = feature_space if feature_space is not None else FeatureSpace()
+    if not use_features:
+        empty = FeatureSpace()
+        empty._fitted = True
+        return np.zeros((dataset.n_sources, 0), dtype=float), empty
+    design = space.fit(dataset)
+    return design, space

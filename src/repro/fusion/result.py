@@ -1,0 +1,56 @@
+"""Fusion output container shared by SLiMFast and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from .dataset import FusionDataset
+from .metrics import dataset_source_accuracy_error, object_value_accuracy
+from .types import ObjectId, SourceId, Value
+
+
+@dataclass
+class FusionResult:
+    """Output of a data-fusion method (paper Figure 1, right side).
+
+    Attributes
+    ----------
+    values:
+        Estimated true value ``v_o`` for every object.
+    posteriors:
+        Optional posterior distribution ``P(T_o = d | Ω)`` per object; only
+        methods with probabilistic semantics populate this.
+    source_accuracies:
+        Optional estimated accuracy ``A_s`` per source; methods without
+        probabilistic semantics (e.g. CATD's normalized reliability weights)
+        leave this ``None`` and are excluded from Table 3 comparisons, as in
+        the paper.
+    method:
+        Name of the producing method, e.g. ``"slimfast"`` or ``"accu"``.
+    diagnostics:
+        Free-form method-specific extras (iterations, learner choice,
+        optimizer decision, timings, ...).
+    """
+
+    values: Dict[ObjectId, Value]
+    posteriors: Optional[Dict[ObjectId, Dict[Value, float]]] = None
+    source_accuracies: Optional[Dict[SourceId, float]] = None
+    method: str = "unknown"
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+
+    def accuracy(
+        self, dataset: FusionDataset, objects: Optional[Mapping[ObjectId, Value] | list] = None
+    ) -> float:
+        """Object-value accuracy against the dataset's ground truth."""
+        population = objects if objects is not None else list(dataset.ground_truth)
+        return object_value_accuracy(self.values, dataset.ground_truth, population)
+
+    def source_error(self, dataset: FusionDataset) -> float:
+        """Weighted source-accuracy estimation error (Table 3 metric).
+
+        Raises ``ValueError`` when the method did not estimate accuracies.
+        """
+        if self.source_accuracies is None:
+            raise ValueError(f"method {self.method!r} does not estimate source accuracies")
+        return dataset_source_accuracy_error(dataset, self.source_accuracies)

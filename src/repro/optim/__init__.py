@@ -1,0 +1,28 @@
+"""Optimization substrate: objectives, numerics and solvers."""
+
+from .numerics import log_sigmoid, log_softmax, logit, sigmoid, softmax, soft_threshold
+from .objectives import (
+    ConditionalObjective,
+    CorrectnessObjective,
+    ParameterLayout,
+    segment_softmax,
+)
+from .solvers import SolverResult, fista, gradient_descent, minimize_lbfgs, sgd
+
+__all__ = [
+    "sigmoid",
+    "log_sigmoid",
+    "logit",
+    "softmax",
+    "log_softmax",
+    "soft_threshold",
+    "CorrectnessObjective",
+    "ConditionalObjective",
+    "ParameterLayout",
+    "segment_softmax",
+    "SolverResult",
+    "minimize_lbfgs",
+    "gradient_descent",
+    "fista",
+    "sgd",
+]

@@ -1,0 +1,43 @@
+"""Numerically stable primitives shared by all objectives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CLIP = 30.0
+
+
+def sigmoid(z: np.ndarray | float) -> np.ndarray | float:
+    """Stable logistic function ``1 / (1 + exp(-z))``."""
+    z = np.clip(z, -_CLIP, _CLIP)
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def log_sigmoid(z: np.ndarray | float) -> np.ndarray | float:
+    """Stable ``log(sigmoid(z))`` computed as ``-log1p(exp(-z))``."""
+    z = np.clip(z, -_CLIP, _CLIP)
+    return -np.log1p(np.exp(-z))
+
+
+def logit(p: np.ndarray | float, eps: float = 1e-9) -> np.ndarray | float:
+    """Inverse sigmoid with clamping away from {0, 1}."""
+    p = np.clip(p, eps, 1.0 - eps)
+    return np.log(p / (1.0 - p))
+
+
+def softmax(scores: np.ndarray) -> np.ndarray:
+    """Stable softmax along the last axis."""
+    shifted = scores - np.max(scores, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+def log_softmax(scores: np.ndarray) -> np.ndarray:
+    """Stable log-softmax along the last axis."""
+    shifted = scores - np.max(scores, axis=-1, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+
+
+def soft_threshold(x: np.ndarray, threshold: float) -> np.ndarray:
+    """Element-wise soft-thresholding operator (the L1 proximal map)."""
+    return np.sign(x) * np.maximum(np.abs(x) - threshold, 0.0)

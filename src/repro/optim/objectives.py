@@ -1,0 +1,358 @@
+"""Differentiable training objectives for SLiMFast's logistic model.
+
+Two objectives are provided, matching the two views the paper takes of the
+same model:
+
+* :class:`CorrectnessObjective` — the *accuracy-estimate loss* of
+  Definition 7: each (source, object) pair is a Bernoulli trial "did the
+  source report the true value", and the model predicts its success
+  probability ``A_s = sigmoid(w_s + F_s · w_K)``.  This is plain (weighted)
+  logistic regression and is what ERM optimizes over ground truth, and what
+  the EM M-step optimizes with soft labels.
+
+* :class:`ConditionalObjective` — the object-level conditional likelihood of
+  Equation 4: ``P(T_o = d | Ω; w)`` is a softmax over the object's claimed
+  values with per-source trust scores as coefficients.  This objective also
+  accepts *extra pairwise features* on (object, value) pairs, which is how
+  the Appendix D copying extension stays a logistic-regression model.
+
+Both expose ``value(w)``, ``grad(w)`` and ``value_and_grad(w)`` over a
+single flat parameter vector ``w = [w_sources | w_features | w_extra]`` and
+support optional L2 penalties per block (L1 is handled by the proximal
+solver in :mod:`repro.optim.solvers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .numerics import log_sigmoid, log_softmax, sigmoid, softmax
+
+
+@dataclass(frozen=True)
+class ParameterLayout:
+    """Block structure of the flat parameter vector.
+
+    ``n_sources`` per-source indicator weights come first, then
+    ``n_features`` domain-feature weights, then ``n_extra`` extension
+    weights (e.g. copying features).  An optional global ``intercept`` is
+    appended last when enabled.
+    """
+
+    n_sources: int
+    n_features: int
+    n_extra: int = 0
+    intercept: bool = False
+
+    @property
+    def n_params(self) -> int:
+        return self.n_sources + self.n_features + self.n_extra + int(self.intercept)
+
+    def split(self, w: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Split ``w`` into (w_sources, w_features, w_extra, intercept)."""
+        a = self.n_sources
+        b = a + self.n_features
+        c = b + self.n_extra
+        bias = float(w[c]) if self.intercept else 0.0
+        return w[:a], w[a:b], w[b:c], bias
+
+    def l2_vector(self, l2_sources: float, l2_features: float, l2_extra: float = 0.0) -> np.ndarray:
+        """Per-parameter L2 strengths; the intercept is never penalized."""
+        parts = [
+            np.full(self.n_sources, l2_sources),
+            np.full(self.n_features, l2_features),
+            np.full(self.n_extra, l2_extra),
+        ]
+        if self.intercept:
+            parts.append(np.zeros(1))
+        return np.concatenate(parts)
+
+    def l1_mask(self, sources: bool = False, features: bool = True, extra: bool = False) -> np.ndarray:
+        """Boolean mask of parameters eligible for L1 penalties."""
+        parts = [
+            np.full(self.n_sources, sources, dtype=bool),
+            np.full(self.n_features, features, dtype=bool),
+            np.full(self.n_extra, extra, dtype=bool),
+        ]
+        if self.intercept:
+            parts.append(np.zeros(1, dtype=bool))
+        return np.concatenate(parts)
+
+
+class CorrectnessObjective:
+    """Weighted Bernoulli log-loss over per-observation correctness.
+
+    Parameters
+    ----------
+    source_idx:
+        Integer array (n,) mapping each training pair to its source index.
+    labels:
+        Array (n,) of correctness targets in [0, 1]; soft labels are allowed
+        (the EM M-step passes posterior correctness probabilities).
+    design:
+        Dense ``|S| x |K|`` binary feature matrix.
+    sample_weights:
+        Optional per-pair weights (defaults to 1).
+    l2_sources, l2_features:
+        L2 penalty strengths for the two parameter blocks.
+    intercept:
+        Include a shared bias term (useful when predicting accuracies of
+        unseen sources, Section 5.3.2).
+    """
+
+    def __init__(
+        self,
+        source_idx: np.ndarray,
+        labels: np.ndarray,
+        design: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+        l2_sources: float = 0.0,
+        l2_features: float = 0.0,
+        intercept: bool = False,
+    ) -> None:
+        self.source_idx = np.asarray(source_idx, dtype=np.int64)
+        self.labels = np.asarray(labels, dtype=float)
+        self.design = np.asarray(design, dtype=float)
+        n = self.source_idx.shape[0]
+        if self.labels.shape[0] != n:
+            raise ValueError("labels and source_idx must have equal length")
+        if np.any((self.labels < 0) | (self.labels > 1)):
+            raise ValueError("labels must lie in [0, 1]")
+        self.sample_weights = (
+            np.ones(n) if sample_weights is None else np.asarray(sample_weights, dtype=float)
+        )
+        if self.sample_weights.shape[0] != n:
+            raise ValueError("sample_weights and source_idx must have equal length")
+        self.n_samples = n
+        self.layout = ParameterLayout(
+            n_sources=self.design.shape[0],
+            n_features=self.design.shape[1],
+            intercept=intercept,
+        )
+        self._weight_total = float(np.sum(self.sample_weights)) or 1.0
+        # The data term is weight-normalized (a mean), so the ridge penalty
+        # is scaled by 1/total as well: l2 strengths are per-sample, like
+        # sklearn's alpha/n convention, and do not dominate small datasets.
+        self._l2 = self.layout.l2_vector(l2_sources, l2_features) / self._weight_total
+
+    @property
+    def n_params(self) -> int:
+        return self.layout.n_params
+
+    def _scores(self, w: np.ndarray) -> np.ndarray:
+        w_src, w_feat, _, bias = self.layout.split(w)
+        per_source = w_src + self.design @ w_feat + bias
+        return per_source[self.source_idx]
+
+    def value(self, w: np.ndarray) -> float:
+        z = self._scores(w)
+        ll = self.labels * log_sigmoid(z) + (1.0 - self.labels) * log_sigmoid(-z)
+        data_term = -float(np.sum(self.sample_weights * ll)) / self._weight_total
+        return data_term + 0.5 * float(np.sum(self._l2 * w * w))
+
+    def grad(self, w: np.ndarray) -> np.ndarray:
+        return self.value_and_grad(w)[1]
+
+    def value_and_grad(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        z = self._scores(w)
+        p = sigmoid(z)
+        ll = self.labels * log_sigmoid(z) + (1.0 - self.labels) * log_sigmoid(-z)
+        value = -float(np.sum(self.sample_weights * ll)) / self._weight_total
+        value += 0.5 * float(np.sum(self._l2 * w * w))
+
+        residual = self.sample_weights * (p - self.labels) / self._weight_total
+        per_source = np.bincount(
+            self.source_idx, weights=residual, minlength=self.layout.n_sources
+        )
+        grad_feat = self.design.T @ per_source
+        parts = [per_source, grad_feat]
+        if self.layout.n_extra:
+            parts.append(np.zeros(self.layout.n_extra))
+        if self.layout.intercept:
+            parts.append(np.asarray([float(np.sum(residual))]))
+        grad = np.concatenate(parts) + self._l2 * w
+        return value, grad
+
+    def batch_grad(self, w: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Stochastic gradient over the sample rows ``rows`` (for SGD)."""
+        src = self.source_idx[rows]
+        y = self.labels[rows]
+        sw = self.sample_weights[rows]
+        w_src, w_feat, _, bias = self.layout.split(w)
+        z = w_src[src] + self.design[src] @ w_feat + bias
+        residual = sw * (sigmoid(z) - y) / max(float(np.sum(sw)), 1e-12)
+        per_source = np.bincount(src, weights=residual, minlength=self.layout.n_sources)
+        parts = [per_source, self.design.T @ per_source]
+        if self.layout.intercept:
+            parts.append(np.asarray([float(np.sum(residual))]))
+        return np.concatenate(parts) + self._l2 * w
+
+
+class ConditionalObjective:
+    """Negative conditional log-likelihood of labeled objects (Equation 4).
+
+    The objective works over *flattened (object, value) pairs*: each object
+    contributes ``|D_o|`` candidate rows, and each observation adds the trust
+    score of its source to the row of the value it claims.  Optional extra
+    features attach additional weighted contributions to candidate rows; the
+    copying extension (Appendix D) uses these for agreeing source pairs.
+
+    Parameters
+    ----------
+    design:
+        Dense ``|S| x |K|`` binary feature matrix.
+    obs_source_idx, obs_pair_idx:
+        For each observation, the source index and the flattened candidate
+        row index of the value it claims.
+    pair_object_idx:
+        For each flattened candidate row, the index of its object in the
+        *labeled-object list* (0..n_labeled-1).
+    label_pair_idx:
+        For each labeled object, the flattened row index of its true value,
+        or -1 when the true value was not claimed by any source (the row is
+        then excluded from the likelihood, matching single-truth semantics
+        where at least one source provides the truth).
+    extra:
+        Optional ``(pair_rows, feature_idx, values)`` arrays for extension
+        features; ``n_extra`` weights are appended to the parameter vector.
+    """
+
+    def __init__(
+        self,
+        design: np.ndarray,
+        obs_source_idx: np.ndarray,
+        obs_pair_idx: np.ndarray,
+        pair_object_idx: np.ndarray,
+        label_pair_idx: np.ndarray,
+        n_extra: int = 0,
+        extra: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+        l2_sources: float = 0.0,
+        l2_features: float = 0.0,
+        l2_extra: float = 0.0,
+        object_weights: Optional[np.ndarray] = None,
+        base_scores: Optional[np.ndarray] = None,
+    ) -> None:
+        self.design = np.asarray(design, dtype=float)
+        self.obs_source_idx = np.asarray(obs_source_idx, dtype=np.int64)
+        self.obs_pair_idx = np.asarray(obs_pair_idx, dtype=np.int64)
+        self.pair_object_idx = np.asarray(pair_object_idx, dtype=np.int64)
+        self.label_pair_idx = np.asarray(label_pair_idx, dtype=np.int64)
+        self.n_pairs = self.pair_object_idx.shape[0]
+        self.n_objects = self.label_pair_idx.shape[0]
+        # Fixed (w-independent) per-row score offsets, e.g. the multi-valued
+        # domain correction; they shift the softmax but not the gradient
+        # structure.
+        self.base_scores = (
+            np.zeros(self.n_pairs)
+            if base_scores is None
+            else np.asarray(base_scores, dtype=float)
+        )
+        if extra is not None:
+            self.extra_rows, self.extra_feature_idx, self.extra_values = (
+                np.asarray(extra[0], dtype=np.int64),
+                np.asarray(extra[1], dtype=np.int64),
+                np.asarray(extra[2], dtype=float),
+            )
+        else:
+            self.extra_rows = np.zeros(0, dtype=np.int64)
+            self.extra_feature_idx = np.zeros(0, dtype=np.int64)
+            self.extra_values = np.zeros(0)
+        self.layout = ParameterLayout(
+            n_sources=self.design.shape[0],
+            n_features=self.design.shape[1],
+            n_extra=n_extra,
+        )
+        valid = self.label_pair_idx >= 0
+        weights = np.ones(self.n_objects) if object_weights is None else np.asarray(
+            object_weights, dtype=float
+        )
+        self.object_weights = np.where(valid, weights, 0.0)
+        self._weight_total = float(np.sum(self.object_weights)) or 1.0
+        # Per-sample ridge scaling, matching CorrectnessObjective.
+        self._l2 = (
+            self.layout.l2_vector(l2_sources, l2_features, l2_extra) / self._weight_total
+        )
+
+    @property
+    def n_params(self) -> int:
+        return self.layout.n_params
+
+    def _pair_scores(self, w: np.ndarray) -> np.ndarray:
+        w_src, w_feat, w_extra, _ = self.layout.split(w)
+        trust = w_src + self.design @ w_feat
+        scores = self.base_scores + np.bincount(
+            self.obs_pair_idx,
+            weights=trust[self.obs_source_idx],
+            minlength=self.n_pairs,
+        )
+        if self.extra_rows.size:
+            contributions = w_extra[self.extra_feature_idx] * self.extra_values
+            scores += np.bincount(
+                self.extra_rows, weights=contributions, minlength=self.n_pairs
+            )
+        return scores
+
+    def pair_log_posteriors(self, w: np.ndarray) -> np.ndarray:
+        """Log posterior per flattened (object, value) row."""
+        scores = self._pair_scores(w)
+        return _segment_log_softmax(scores, self.pair_object_idx, self.n_objects)
+
+    def value(self, w: np.ndarray) -> float:
+        return self.value_and_grad(w)[0]
+
+    def grad(self, w: np.ndarray) -> np.ndarray:
+        return self.value_and_grad(w)[1]
+
+    def value_and_grad(self, w: np.ndarray) -> Tuple[float, np.ndarray]:
+        log_post = self.pair_log_posteriors(w)
+        valid = self.label_pair_idx >= 0
+        picked = np.where(valid, self.label_pair_idx, 0)
+        ll = np.where(valid, log_post[picked], 0.0)
+        value = -float(np.sum(self.object_weights * ll)) / self._weight_total
+        value += 0.5 * float(np.sum(self._l2 * w * w))
+
+        # residual per flattened row: weight_o * (posterior - 1[row is truth])
+        posteriors = np.exp(log_post)
+        residual = posteriors * self.object_weights[self.pair_object_idx]
+        np.subtract.at(residual, picked[valid], self.object_weights[valid])
+        residual /= self._weight_total
+
+        # chain rule back to trust scores: every observation contributes the
+        # residual of the row it voted for.
+        obs_residual = residual[self.obs_pair_idx]
+        per_source = np.bincount(
+            self.obs_source_idx, weights=obs_residual, minlength=self.layout.n_sources
+        )
+        grad_feat = self.design.T @ per_source
+        grad_extra = np.zeros(self.layout.n_extra)
+        if self.extra_rows.size:
+            grad_extra = np.bincount(
+                self.extra_feature_idx,
+                weights=residual[self.extra_rows] * self.extra_values,
+                minlength=self.layout.n_extra,
+            )
+        grad = np.concatenate([per_source, grad_feat, grad_extra]) + self._l2 * w
+        return value, grad
+
+
+def _segment_log_softmax(scores: np.ndarray, segment_idx: np.ndarray, n_segments: int) -> np.ndarray:
+    """Log-softmax of ``scores`` within segments given by ``segment_idx``.
+
+    Segments correspond to objects; rows of the same object are normalized
+    together.  Implemented with bincount-based segment reductions so domains
+    of arbitrary (ragged) sizes are supported without padding.
+    """
+    seg_max = np.full(n_segments, -np.inf)
+    np.maximum.at(seg_max, segment_idx, scores)
+    shifted = scores - seg_max[segment_idx]
+    seg_sum = np.bincount(segment_idx, weights=np.exp(shifted), minlength=n_segments)
+    log_norm = np.log(np.maximum(seg_sum, 1e-300))
+    return shifted - log_norm[segment_idx]
+
+
+def segment_softmax(scores: np.ndarray, segment_idx: np.ndarray, n_segments: int) -> np.ndarray:
+    """Softmax within segments; exported for the inference module."""
+    return np.exp(_segment_log_softmax(scores, segment_idx, n_segments))

@@ -1,0 +1,70 @@
+"""Tests for the ACCU baseline (Dong et al. 2009, no copying)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Accu
+from repro.data import SyntheticConfig, generate
+from repro.fusion import FusionDataset
+
+
+class TestAccu:
+    def test_unsupervised_recovers_dense_instance(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=40,
+                n_objects=120,
+                density=0.25,
+                avg_accuracy=0.75,
+                accuracy_spread=0.1,
+                seed=2,
+            )
+        )
+        ds = instance.dataset
+        result = Accu().fit_predict(ds, {})
+        assert result.accuracy(ds) > 0.9
+
+    def test_accuracy_estimates_correlate(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=40,
+                n_objects=200,
+                density=0.25,
+                avg_accuracy=0.72,
+                accuracy_spread=0.12,
+                seed=3,
+            )
+        )
+        ds = instance.dataset
+        result = Accu().fit_predict(ds, {})
+        est = np.array([result.source_accuracies[s] for s in ds.sources])
+        true = np.array([ds.true_accuracies[s] for s in ds.sources])
+        assert np.corrcoef(est, true)[0, 1] > 0.7
+
+    def test_ground_truth_initializes_and_clamps(self, tiny_dataset):
+        result = Accu().fit_predict(tiny_dataset, {"gigyf2": "false"})
+        assert result.values["gigyf2"] == "false"
+        # a2 contradicted the clamped truth; its accuracy must be low
+        assert result.source_accuracies["a2"] < 0.5
+
+    def test_converges_and_reports_iterations(self, small_dataset):
+        result = Accu(max_iterations=100).fit_predict(small_dataset, {})
+        assert 1 <= result.diagnostics["iterations"] <= 100
+
+    def test_posteriors_normalized(self, small_dataset):
+        result = Accu().fit_predict(small_dataset, {})
+        for dist in result.posteriors.values():
+            assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_accuracies_stay_in_bounds(self, small_dataset):
+        result = Accu().fit_predict(small_dataset, {})
+        assert all(0.0 < a < 1.0 for a in result.source_accuracies.values())
+
+    def test_fixed_n_false_values(self):
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b")])
+        result = Accu(n_false_values=10).fit_predict(ds, {})
+        assert set(result.values) == {"o"}
+
+    def test_single_iteration_budget(self, small_dataset):
+        result = Accu(max_iterations=1).fit_predict(small_dataset, {})
+        assert result.diagnostics["iterations"] == 1

@@ -1,0 +1,78 @@
+"""Property-based tests shared across all baseline fusers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder
+from repro.fusion import FusionDataset, Observation
+
+ALL_BASELINES = [MajorityVote, Counts, Accu, Catd, Sstf, TruthFinder]
+
+
+@st.composite
+def random_dataset(draw):
+    n_sources = draw(st.integers(min_value=2, max_value=6))
+    n_objects = draw(st.integers(min_value=1, max_value=6))
+    observations = []
+    truth = {}
+    for obj in range(n_objects):
+        n_claims = draw(st.integers(min_value=1, max_value=n_sources))
+        sources = draw(
+            st.permutations(list(range(n_sources))).map(lambda p: p[:n_claims])
+        )
+        truth[f"o{obj}"] = "v0"
+        for source in sources:
+            value = draw(st.sampled_from(["v0", "v1", "v2"]))
+            observations.append(Observation(f"s{source}", f"o{obj}", value))
+    return FusionDataset(observations, ground_truth=truth)
+
+
+class TestBaselineContracts:
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    @settings(max_examples=15, deadline=None)
+    @given(dataset=random_dataset())
+    def test_every_object_resolved_to_claimed_value(self, baseline_cls, dataset):
+        result = baseline_cls().fit_predict(dataset, {})
+        assert set(result.values) == set(dataset.objects.items)
+        for obj, value in result.values.items():
+            assert value in dataset.domain(obj)
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    @settings(max_examples=10, deadline=None)
+    @given(dataset=random_dataset())
+    def test_deterministic(self, baseline_cls, dataset):
+        a = baseline_cls().fit_predict(dataset, {})
+        b = baseline_cls().fit_predict(dataset, {})
+        assert a.values == b.values
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    @settings(max_examples=10, deadline=None)
+    @given(dataset=random_dataset())
+    def test_training_truth_always_clamped(self, baseline_cls, dataset):
+        first = dataset.objects.items[0]
+        truth = {first: dataset.ground_truth[first]}
+        result = baseline_cls().fit_predict(dataset, truth)
+        assert result.values[first] == truth[first]
+
+    @pytest.mark.parametrize(
+        "baseline_cls", [MajorityVote, Counts, Accu, Sstf, TruthFinder]
+    )
+    @settings(max_examples=10, deadline=None)
+    @given(dataset=random_dataset())
+    def test_posteriors_are_distributions(self, baseline_cls, dataset):
+        result = baseline_cls().fit_predict(dataset, {})
+        assert result.posteriors is not None
+        for dist in result.posteriors.values():
+            assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
+            assert all(p >= -1e-12 for p in dist.values())
+
+    @pytest.mark.parametrize("baseline_cls", [Counts, Accu, TruthFinder])
+    @settings(max_examples=10, deadline=None)
+    @given(dataset=random_dataset())
+    def test_accuracies_in_unit_interval(self, baseline_cls, dataset):
+        result = baseline_cls().fit_predict(dataset, dataset.ground_truth)
+        assert result.source_accuracies is not None
+        for accuracy in result.source_accuracies.values():
+            assert 0.0 <= accuracy <= 1.0

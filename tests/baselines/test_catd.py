@@ -1,0 +1,62 @@
+"""Tests for the CATD baseline (Li et al. 2014)."""
+
+import pytest
+
+from repro.baselines import Catd
+from repro.data import SyntheticConfig, generate
+from repro.fusion import FusionDataset
+
+
+class TestCatd:
+    def test_unsupervised_beats_coin_flip(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=40,
+                n_objects=150,
+                density=0.2,
+                avg_accuracy=0.7,
+                accuracy_spread=0.12,
+                seed=4,
+            )
+        )
+        ds = instance.dataset
+        result = Catd().fit_predict(ds, {})
+        assert result.accuracy(ds) > 0.75
+
+    def test_no_probabilistic_accuracies(self, small_dataset):
+        """CATD measures reliability via normalized weights, not accuracies
+        (the reason the paper omits it from Table 3)."""
+        result = Catd().fit_predict(small_dataset, {})
+        assert result.source_accuracies is None
+        weights = result.diagnostics["normalized_weights"]
+        assert set(weights) == set(small_dataset.sources.items)
+        assert max(weights.values()) == pytest.approx(1.0)
+
+    def test_long_tail_damping(self):
+        """A small-sample source gets a lower weight than an equally
+        accurate prolific source — CATD's core idea."""
+        observations = []
+        truth = {}
+        for i in range(40):
+            observations.append(("prolific", f"o{i}", "t"))
+            observations.append((f"filler-{i}", f"o{i}", "f"))
+            truth[f"o{i}"] = "t"
+        observations.append(("tail", "o0b", "t"))
+        observations.append(("filler-0", "o0b", "f"))
+        truth["o0b"] = "t"
+        ds = FusionDataset(observations, ground_truth=truth)
+        result = Catd().fit_predict(ds, truth)
+        weights = result.diagnostics["normalized_weights"]
+        assert weights["prolific"] > weights["tail"]
+
+    def test_truth_clamped(self, tiny_dataset):
+        result = Catd().fit_predict(tiny_dataset, {"gigyf2": "true"})
+        assert result.values["gigyf2"] == "true"
+
+    def test_all_objects_resolved(self, small_dataset):
+        result = Catd().fit_predict(small_dataset, {})
+        assert set(result.values) == set(small_dataset.objects.items)
+
+    def test_iteration_budget(self, small_dataset):
+        result = Catd(max_iterations=2).fit_predict(small_dataset, {})
+        assert result.diagnostics["iterations"] <= 2

@@ -1,0 +1,71 @@
+"""Tests for the Counts (Naive Bayes) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Counts
+from repro.fusion import FusionDataset
+
+
+class TestAccuracyCounting:
+    def test_empirical_with_smoothing(self, tiny_dataset):
+        result = Counts(smoothing=1.0).fit_predict(
+            tiny_dataset, tiny_dataset.ground_truth
+        )
+        accs = result.source_accuracies
+        # a1: 2 correct of 2 -> (2+1)/(2+2)
+        assert accs["a1"] == pytest.approx(0.75)
+        # a2: 0 correct of 1 -> (0+1)/(1+2)
+        assert accs["a2"] == pytest.approx(1 / 3)
+
+    def test_unlabeled_source_gets_prior(self):
+        ds = FusionDataset(
+            [("s1", "o1", "a"), ("s2", "o2", "b")], ground_truth={"o1": "a"}
+        )
+        result = Counts(prior_accuracy=0.6).fit_predict(ds, {"o1": "a"})
+        assert result.source_accuracies["s2"] == 0.6
+
+    def test_no_truth_all_prior(self, tiny_dataset):
+        result = Counts(prior_accuracy=0.5).fit_predict(tiny_dataset, {})
+        assert all(a == 0.5 for a in result.source_accuracies.values())
+
+
+class TestNaiveBayesInference:
+    def test_weighted_vote_beats_plain_majority(self):
+        """One highly-accurate source should outvote two poor ones."""
+        observations = [
+            ("good", "target", "a"),
+            ("bad1", "target", "b"),
+            ("bad2", "target", "b"),
+        ]
+        # labeled history making 'good' accurate and the others inaccurate
+        for i in range(10):
+            observations.append(("good", f"h{i}", "t"))
+            observations.append(("bad1", f"h{i}", "f"))
+            observations.append(("bad2", f"h{i}", "f"))
+        truth = {f"h{i}": "t" for i in range(10)}
+        ds = FusionDataset(observations, ground_truth={**truth, "target": "a"})
+        result = Counts().fit_predict(ds, truth)
+        assert result.values["target"] == "a"
+
+    def test_posteriors_normalized(self, small_dataset):
+        split = small_dataset.split(0.3, seed=0)
+        result = Counts().fit_predict(small_dataset, split.train_truth)
+        for dist in result.posteriors.values():
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_multivalued_error_spread(self):
+        """Errors spread over |D_o|-1 alternatives, not concentrated."""
+        observations = [("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "c")]
+        for i in range(8):
+            observations += [(f"s{j+1}", f"h{i}", "t") for j in range(3)]
+        truth = {f"h{i}": "t" for i in range(8)}
+        ds = FusionDataset(observations, ground_truth={**truth, "o": "a"})
+        result = Counts().fit_predict(ds, truth)
+        post = result.posteriors["o"]
+        # symmetric sources, symmetric claims -> uniform posterior
+        assert post["a"] == pytest.approx(post["b"], abs=1e-9)
+
+    def test_training_truth_clamped(self, tiny_dataset):
+        result = Counts().fit_predict(tiny_dataset, {"gigyf2": "true"})
+        assert result.values["gigyf2"] == "true"

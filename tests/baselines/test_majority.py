@@ -1,0 +1,33 @@
+"""Tests for the majority-vote baseline."""
+
+import pytest
+
+from repro.baselines import MajorityVote
+from repro.fusion import FusionDataset
+
+
+class TestMajorityVote:
+    def test_plurality_wins(self, tiny_dataset):
+        result = MajorityVote().fit_predict(tiny_dataset)
+        assert result.values["gigyf2"] == "false"  # 2 vs 1
+        assert result.values["gba"] == "true"
+
+    def test_posteriors_are_vote_shares(self, tiny_dataset):
+        result = MajorityVote().fit_predict(tiny_dataset)
+        assert result.posteriors["gigyf2"]["false"] == pytest.approx(2 / 3)
+        assert result.posteriors["gigyf2"]["true"] == pytest.approx(1 / 3)
+
+    def test_tie_breaks_to_first_seen(self):
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b")])
+        result = MajorityVote().fit_predict(ds)
+        assert result.values["o"] == "a"
+
+    def test_training_truth_clamped(self, tiny_dataset):
+        result = MajorityVote().fit_predict(tiny_dataset, {"gigyf2": "true"})
+        assert result.values["gigyf2"] == "true"
+
+    def test_no_source_accuracies(self, tiny_dataset):
+        assert MajorityVote().fit_predict(tiny_dataset).source_accuracies is None
+
+    def test_method_name(self, tiny_dataset):
+        assert MajorityVote().fit_predict(tiny_dataset).method == "majority"

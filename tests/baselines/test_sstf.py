@@ -1,0 +1,61 @@
+"""Tests for the SSTF baseline (Yin & Tan 2011)."""
+
+import pytest
+
+from repro.baselines import Sstf
+from repro.data import SyntheticConfig, generate
+
+
+class TestSstf:
+    def test_resolves_all_objects(self, small_dataset):
+        result = Sstf().fit_predict(small_dataset, {})
+        assert set(result.values) == set(small_dataset.objects.items)
+
+    def test_labels_propagate(self):
+        """Anchored claims must pull co-claimed values of shared sources."""
+        instance = generate(
+            SyntheticConfig(
+                n_sources=40,
+                n_objects=120,
+                density=0.2,
+                avg_accuracy=0.72,
+                accuracy_spread=0.1,
+                seed=6,
+            )
+        )
+        ds = instance.dataset
+        split = ds.split(0.4, seed=0)
+        with_labels = Sstf().fit_predict(ds, split.train_truth)
+        without = Sstf().fit_predict(ds, {})
+        acc_with = with_labels.accuracy(ds, list(split.test_objects))
+        acc_without = without.accuracy(ds, list(split.test_objects))
+        assert acc_with >= acc_without - 0.02
+
+    def test_anchors_clamped(self, tiny_dataset):
+        result = Sstf().fit_predict(tiny_dataset, {"gigyf2": "true"})
+        assert result.values["gigyf2"] == "true"
+
+    def test_posteriors_normalized(self, small_dataset):
+        result = Sstf().fit_predict(small_dataset, {})
+        for dist in result.posteriors.values():
+            assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_no_source_accuracies(self, small_dataset):
+        """SSTF does not estimate accuracies (excluded from Table 3)."""
+        assert Sstf().fit_predict(small_dataset, {}).source_accuracies is None
+
+    def test_beats_chance_on_easy_instance(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=30,
+                n_objects=100,
+                density=0.3,
+                avg_accuracy=0.8,
+                accuracy_spread=0.05,
+                seed=7,
+            )
+        )
+        ds = instance.dataset
+        split = ds.split(0.3, seed=0)
+        result = Sstf().fit_predict(ds, split.train_truth)
+        assert result.accuracy(ds, list(split.test_objects)) > 0.6

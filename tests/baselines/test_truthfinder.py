@@ -1,0 +1,59 @@
+"""Tests for the TruthFinder baseline (Yin et al. 2007)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TruthFinder
+from repro.data import SyntheticConfig, generate
+
+
+class TestTruthFinder:
+    def test_unsupervised_recovery(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=40,
+                n_objects=120,
+                density=0.25,
+                avg_accuracy=0.75,
+                accuracy_spread=0.1,
+                seed=8,
+            )
+        )
+        ds = instance.dataset
+        result = TruthFinder().fit_predict(ds, {})
+        assert result.accuracy(ds) > 0.8
+
+    def test_trust_correlates_with_accuracy(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=40,
+                n_objects=200,
+                density=0.25,
+                avg_accuracy=0.7,
+                accuracy_spread=0.15,
+                seed=9,
+            )
+        )
+        ds = instance.dataset
+        result = TruthFinder().fit_predict(ds, {})
+        est = np.array([result.source_accuracies[s] for s in ds.sources])
+        true = np.array([ds.true_accuracies[s] for s in ds.sources])
+        assert np.corrcoef(est, true)[0, 1] > 0.5
+
+    def test_anchored_truth_clamped(self, tiny_dataset):
+        result = TruthFinder().fit_predict(tiny_dataset, {"gigyf2": "true"})
+        assert result.values["gigyf2"] == "true"
+
+    def test_trust_in_unit_interval(self, small_dataset):
+        result = TruthFinder().fit_predict(small_dataset, {})
+        assert all(0.0 < t < 1.0 for t in result.source_accuracies.values())
+
+    def test_all_objects_resolved(self, small_dataset):
+        result = TruthFinder().fit_predict(small_dataset, {})
+        assert set(result.values) == set(small_dataset.objects.items)
+
+    def test_hyperparameters_accepted(self, small_dataset):
+        result = TruthFinder(gamma=0.2, rho=0.3, initial_trust=0.8).fit_predict(
+            small_dataset, {}
+        )
+        assert result.method == "truthfinder"

@@ -1,0 +1,155 @@
+"""Tests for agreement-based average-accuracy estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    agreement_matrix,
+    average_domain_size,
+    estimate_average_accuracy,
+    estimate_source_accuracies_rank1,
+)
+from repro.data import SyntheticConfig, generate
+from repro.fusion import FusionDataset
+
+
+class TestAgreementMatrix:
+    def test_hand_computed(self):
+        ds = FusionDataset(
+            [
+                ("s1", "o1", "a"),
+                ("s2", "o1", "a"),
+                ("s1", "o2", "x"),
+                ("s2", "o2", "y"),
+            ]
+        )
+        matrix = agreement_matrix(ds)
+        i, j = ds.sources.index("s1"), ds.sources.index("s2")
+        # agree on o1, disagree on o2 -> rate 0.5 -> score 0
+        assert matrix.scores[i, j] == pytest.approx(0.0)
+        assert matrix.overlaps[i, j] == 2
+
+    def test_symmetry(self, small_dataset):
+        matrix = agreement_matrix(small_dataset)
+        mask = matrix.observed_pairs()
+        assert np.allclose(
+            np.where(mask, matrix.scores, 0.0),
+            np.where(mask.T, matrix.scores, 0.0).T,
+        )
+
+    def test_no_overlap_is_nan(self):
+        ds = FusionDataset([("s1", "o1", "a"), ("s2", "o2", "b")])
+        matrix = agreement_matrix(ds)
+        assert np.isnan(matrix.scores[0, 1])
+
+    def test_min_overlap_filter(self):
+        ds = FusionDataset(
+            [("s1", "o1", "a"), ("s2", "o1", "a")]
+        )
+        matrix = agreement_matrix(ds, min_overlap=2)
+        assert np.isnan(matrix.scores[0, 1])
+
+    def test_diagonal_excluded_from_pairs(self, small_dataset):
+        matrix = agreement_matrix(small_dataset)
+        mask = matrix.observed_pairs()
+        assert not np.any(np.diag(mask))
+
+
+class TestEstimateAverageAccuracy:
+    @pytest.mark.parametrize("true_accuracy", [0.6, 0.75, 0.9])
+    def test_recovers_binary_accuracy(self, true_accuracy):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=60,
+                n_objects=300,
+                density=0.15,
+                avg_accuracy=true_accuracy,
+                accuracy_spread=0.02,
+                n_informative=0,
+                seed=1,
+            )
+        )
+        estimate = estimate_average_accuracy(instance.dataset)
+        assert estimate == pytest.approx(true_accuracy, abs=0.06)
+
+    def test_domain_corrected_for_multivalued(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=60,
+                n_objects=400,
+                density=0.15,
+                avg_accuracy=0.6,
+                accuracy_spread=0.02,
+                domain_size_range=(4, 4),
+                n_informative=0,
+                seed=2,
+            )
+        )
+        paper = estimate_average_accuracy(instance.dataset, method="paper")
+        corrected = estimate_average_accuracy(
+            instance.dataset, method="domain-corrected"
+        )
+        # The binary identity underestimates agreement-implied accuracy on
+        # multi-valued domains; the corrected variant must be closer.
+        assert abs(corrected - 0.6) < abs(paper - 0.6)
+
+    def test_fallback_without_overlap(self):
+        ds = FusionDataset([("s1", "o1", "a"), ("s2", "o2", "b")])
+        assert estimate_average_accuracy(ds, fallback=0.66) == 0.66
+
+    def test_adversarial_sources_clamp_to_half(self):
+        # systematic disagreement -> negative mean score -> mu clamped at 0
+        ds = FusionDataset(
+            [("s1", f"o{i}", "a") for i in range(10)]
+            + [("s2", f"o{i}", "b") for i in range(10)]
+        )
+        assert estimate_average_accuracy(ds) == pytest.approx(0.5)
+
+    def test_unknown_method_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            estimate_average_accuracy(small_dataset, method="bogus")
+
+
+class TestAverageDomainSize:
+    def test_hand_computed(self):
+        ds = FusionDataset(
+            [
+                ("s1", "o1", "a"),
+                ("s2", "o1", "b"),
+                ("s3", "o1", "c"),
+                ("s1", "o2", "x"),
+                ("s2", "o2", "x"),
+                ("s1", "o3", "z"),  # single observation: excluded
+            ]
+        )
+        assert average_domain_size(ds) == pytest.approx((3 + 1) / 2)
+
+    def test_defaults_to_two(self):
+        ds = FusionDataset([("s1", "o1", "a")])
+        assert average_domain_size(ds) == 2.0
+
+
+class TestRank1PerSource:
+    def test_recovers_heterogeneous_accuracies(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=40,
+                n_objects=400,
+                density=0.3,
+                avg_accuracy=0.7,
+                accuracy_spread=0.15,
+                seed=4,
+            )
+        )
+        estimates = estimate_source_accuracies_rank1(instance.dataset)
+        est = np.array([estimates[s] for s in instance.dataset.sources])
+        corr = np.corrcoef(est, instance.true_accuracies)[0, 1]
+        assert corr > 0.6
+
+    def test_returns_all_sources(self, small_dataset):
+        estimates = estimate_source_accuracies_rank1(small_dataset)
+        assert set(estimates) == set(small_dataset.sources.items)
+
+    def test_values_in_unit_interval(self, small_dataset):
+        estimates = estimate_source_accuracies_rank1(small_dataset)
+        assert all(0.0 <= v <= 1.0 for v in estimates.values())

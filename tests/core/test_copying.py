@@ -1,0 +1,161 @@
+"""Tests for the copying extension (Appendix D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CopyingSLiMFast, find_candidate_pairs
+from repro.core.copying import build_extra_features
+from repro.core.structure import build_pair_structure
+from repro.data import SyntheticConfig, generate
+from repro.fusion import DatasetError, FusionDataset
+
+
+@pytest.fixture(scope="module")
+def copying_instance():
+    """Instance with strong copying clusters."""
+    return generate(
+        SyntheticConfig(
+            n_sources=60,
+            n_objects=150,
+            density=0.15,
+            avg_accuracy=0.65,
+            accuracy_spread=0.1,
+            copy_groups=4,
+            copy_group_size=5,
+            copy_fidelity=0.95,
+            seed=17,
+        )
+    )
+
+
+class TestFindCandidatePairs:
+    def test_copiers_found(self, copying_instance):
+        ds = copying_instance.dataset
+        pairs = find_candidate_pairs(ds, min_overlap=3, min_agreement=0.7)
+        found = {frozenset((p.first, p.second)) for p in pairs}
+        # at least one true copying pair must surface
+        copy_pairs = set()
+        for group in copying_instance.copy_groups:
+            leader = group[0]
+            for member in group[1:]:
+                copy_pairs.add(frozenset((leader, member)))
+        assert found & copy_pairs
+
+    def test_overlap_threshold_respected(self, copying_instance):
+        pairs = find_candidate_pairs(copying_instance.dataset, min_overlap=5)
+        assert all(p.overlap >= 5 for p in pairs)
+
+    def test_agreement_threshold_respected(self, copying_instance):
+        pairs = find_candidate_pairs(
+            copying_instance.dataset, min_agreement=0.8
+        )
+        assert all(p.agreement_rate >= 0.8 for p in pairs)
+
+    def test_max_pairs_cap(self, copying_instance):
+        pairs = find_candidate_pairs(copying_instance.dataset, max_pairs=3)
+        assert len(pairs) <= 3
+
+    def test_deterministic_order(self, copying_instance):
+        a = find_candidate_pairs(copying_instance.dataset, max_pairs=10)
+        b = find_candidate_pairs(copying_instance.dataset, max_pairs=10)
+        assert a == b
+
+
+class TestBuildExtraFeatures:
+    def test_rows_point_at_common_values(self):
+        ds = FusionDataset(
+            [
+                ("s1", "o1", "a"),
+                ("s2", "o1", "a"),
+                ("s3", "o1", "b"),
+                ("s1", "o2", "x"),
+                ("s2", "o2", "x"),
+            ],
+            ground_truth={"o1": "b", "o2": "x"},
+        )
+        structure = build_pair_structure(ds)
+        pairs = find_candidate_pairs(ds, min_overlap=2, min_agreement=0.5)
+        assert pairs, "s1/s2 agree on both shared objects"
+        rows, feature_idx, values = build_extra_features(ds, structure, pairs)
+        assert np.all(values == -1.0)
+        # both agreements (o1=a, o2=x) produce one entry for the top pair
+        top_entries = rows[feature_idx == 0]
+        assert len(top_entries) == 2
+
+    def test_disagreeing_pairs_skipped(self):
+        ds = FusionDataset(
+            [("s1", "o1", "a"), ("s2", "o1", "b"), ("s1", "o2", "x"), ("s2", "o2", "x")]
+        )
+        structure = build_pair_structure(ds)
+        pairs = find_candidate_pairs(ds, min_overlap=2, min_agreement=0.0)
+        rows, feature_idx, _ = build_extra_features(ds, structure, pairs)
+        # only the o2 agreement counts
+        assert len(rows) == 1
+
+
+class TestCopyingSLiMFast:
+    def test_erm_mode_requires_truth(self, copying_instance):
+        with pytest.raises(DatasetError):
+            CopyingSLiMFast(learner="erm").fit(copying_instance.dataset, {})
+
+    def test_em_mode_runs_unsupervised(self, copying_instance):
+        model = CopyingSLiMFast(em_rounds=3).fit(copying_instance.dataset, {})
+        result = model.predict()
+        assert set(result.values) == set(copying_instance.dataset.objects.items)
+
+    def test_invalid_learner_rejected(self):
+        with pytest.raises(ValueError):
+            CopyingSLiMFast(learner="gibbs")
+
+    def test_fit_predict_runs(self, copying_instance):
+        ds = copying_instance.dataset
+        split = ds.split(0.2, seed=0)
+        model = CopyingSLiMFast(em_rounds=2, max_pairs=50).fit(ds, split.train_truth)
+        result = model.predict()
+        assert set(result.values) == set(ds.objects.items)
+        assert result.method == "slimfast-copying"
+
+    def test_training_objects_clamped(self, copying_instance):
+        ds = copying_instance.dataset
+        split = ds.split(0.2, seed=1)
+        result = CopyingSLiMFast(em_rounds=1, max_pairs=30).fit(
+            ds, split.train_truth
+        ).predict()
+        for obj, value in split.train_truth.items():
+            assert result.values[obj] == value
+
+    def test_copier_pairs_get_positive_weights(self, copying_instance):
+        ds = copying_instance.dataset
+        split = ds.split(0.4, seed=0)
+        model = CopyingSLiMFast(em_rounds=2, max_pairs=80).fit(ds, split.train_truth)
+        weights = model.pair_weights()
+        # All within-group pairs (leader-member AND member-member) carry
+        # correlated errors; compare against pairs fully outside groups.
+        grouped_sources = {
+            source for group in copying_instance.copy_groups for source in group
+        }
+        group_weights = [
+            w
+            for (a, b), w in weights.items()
+            if a in grouped_sources and b in grouped_sources
+        ]
+        independent_weights = [
+            w
+            for (a, b), w in weights.items()
+            if a not in grouped_sources or b not in grouped_sources
+        ]
+        assert group_weights, "no copier pair was selected as a candidate"
+        if independent_weights:
+            assert np.mean(group_weights) > np.mean(independent_weights)
+
+    def test_predict_before_fit_rejected(self):
+        from repro.fusion import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            CopyingSLiMFast().predict()
+
+    def test_em_rounds_zero_is_supervised_only(self, copying_instance):
+        ds = copying_instance.dataset
+        split = ds.split(0.3, seed=2)
+        model = CopyingSLiMFast(em_rounds=0, max_pairs=30).fit(ds, split.train_truth)
+        assert model.model_ is not None

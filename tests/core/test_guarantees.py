@@ -1,0 +1,122 @@
+"""Tests for the theoretical bound calculators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    em_accuracy_bound,
+    erm_generalization_bound,
+    erm_sparse_bound,
+    expected_observations,
+    rademacher_linear,
+)
+
+
+class TestRademacher:
+    def test_decreases_with_samples(self):
+        assert rademacher_linear(10, 1000) < rademacher_linear(10, 100)
+
+    def test_increases_with_features(self):
+        assert rademacher_linear(100, 500) > rademacher_linear(10, 500)
+
+    def test_zero_samples_infinite(self):
+        assert rademacher_linear(10, 0) == float("inf")
+
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=2, max_value=10**6),
+    )
+    def test_property_positive(self, k, n):
+        assert rademacher_linear(k, n) > 0.0
+
+
+class TestERMBounds:
+    def test_matches_rademacher(self):
+        assert erm_generalization_bound(25, 400) == rademacher_linear(25, 400)
+
+    def test_sparse_beats_dense_for_few_active(self):
+        # k active out of many: sparse bound must win
+        assert erm_sparse_bound(3, 1000, 200) < erm_generalization_bound(1000, 200)
+
+    def test_sparse_bound_zero_labels_infinite(self):
+        assert erm_sparse_bound(3, 10, 0) == float("inf")
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=51, max_value=500),
+        st.integers(min_value=10, max_value=10**5),
+    )
+    def test_property_sparse_monotone_in_active(self, k, total, labels):
+        assert erm_sparse_bound(k, total, labels) <= erm_sparse_bound(
+            k + 1, total, labels
+        )
+
+
+class TestEMBound:
+    def test_decreases_with_density(self):
+        low = em_accuracy_bound(100, 1000, 0.005, 0.2, 10)
+        high = em_accuracy_bound(100, 1000, 0.02, 0.2, 10)
+        assert high < low
+
+    def test_decreases_with_delta(self):
+        low_margin = em_accuracy_bound(100, 1000, 0.01, 0.05, 10)
+        high_margin = em_accuracy_bound(100, 1000, 0.01, 0.4, 10)
+        assert high_margin < low_margin
+
+    def test_decreases_with_sources(self):
+        few = em_accuracy_bound(50, 1000, 0.01, 0.2, 10)
+        many = em_accuracy_bound(500, 1000, 0.01, 0.2, 10)
+        assert many < few
+
+    def test_degenerate_inputs_infinite(self):
+        assert em_accuracy_bound(0, 10, 0.1, 0.2, 5) == float("inf")
+        assert em_accuracy_bound(10, 10, 0.0, 0.2, 5) == float("inf")
+        assert em_accuracy_bound(10, 10, 0.1, 0.0, 5) == float("inf")
+
+
+class TestExpectedObservations:
+    def test_product(self):
+        assert expected_observations(100, 200, 0.01) == pytest.approx(200.0)
+
+
+class TestEmpiricalRademacher:
+    def _features(self, n, k, seed=0):
+        rng = np.random.default_rng(seed)
+        return (rng.random((n, k)) < 0.5).astype(float)
+
+    def test_positive(self):
+        from repro.core import empirical_rademacher_linear
+
+        assert empirical_rademacher_linear(self._features(50, 4)) > 0.0
+
+    def test_decreases_with_samples(self):
+        from repro.core import empirical_rademacher_linear
+
+        small = empirical_rademacher_linear(self._features(50, 4))
+        large = empirical_rademacher_linear(self._features(800, 4))
+        assert large < small
+
+    def test_scales_with_weight_bound(self):
+        from repro.core import empirical_rademacher_linear
+
+        base = empirical_rademacher_linear(self._features(100, 4), weight_bound=1.0)
+        doubled = empirical_rademacher_linear(self._features(100, 4), weight_bound=2.0)
+        assert doubled == pytest.approx(2.0 * base)
+
+    def test_deterministic_per_seed(self):
+        from repro.core import empirical_rademacher_linear
+
+        feats = self._features(60, 3)
+        assert empirical_rademacher_linear(feats, seed=7) == pytest.approx(
+            empirical_rademacher_linear(feats, seed=7)
+        )
+
+    def test_invalid_input(self):
+        from repro.core import empirical_rademacher_linear
+
+        with pytest.raises(ValueError):
+            empirical_rademacher_linear(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            empirical_rademacher_linear(np.zeros(5))

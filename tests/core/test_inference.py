@@ -1,0 +1,159 @@
+"""Tests for exact posterior inference (Equations 1 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_pair_structure, map_assignment, posteriors
+from repro.core.inference import expected_correctness, pair_scores
+from repro.core.model import AccuracyModel
+from repro.fusion import FusionDataset
+from repro.optim import logit, sigmoid
+
+
+def model_with_accuracies(dataset, accuracies):
+    w = np.asarray([logit(a) for a in accuracies], dtype=float)
+    return AccuracyModel(
+        w_sources=w,
+        w_features=np.zeros(0),
+        design=np.zeros((dataset.n_sources, 0)),
+        source_ids=dataset.sources.items,
+    )
+
+
+class TestPosteriorHandComputed:
+    def test_two_sources_binary(self):
+        """Two conflicting sources: posterior = softmax of trust scores."""
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b")])
+        model = model_with_accuracies(ds, [0.8, 0.6])
+        post = posteriors(ds, model)["o"]
+        sigma1, sigma2 = logit(0.8), logit(0.6)
+        expected_a = np.exp(sigma1) / (np.exp(sigma1) + np.exp(sigma2))
+        assert post["a"] == pytest.approx(expected_a, abs=1e-9)
+        assert post["a"] + post["b"] == pytest.approx(1.0)
+
+    def test_agreeing_sources_reinforce(self):
+        ds = FusionDataset(
+            [("s1", "o", "a"), ("s2", "o", "a"), ("s3", "o", "b")]
+        )
+        model = model_with_accuracies(ds, [0.7, 0.7, 0.7])
+        post = posteriors(ds, model)["o"]
+        assert post["a"] > post["b"]
+
+    def test_neutral_sources_uniform(self):
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b")])
+        model = model_with_accuracies(ds, [0.5, 0.5])
+        post = posteriors(ds, model)["o"]
+        assert post["a"] == pytest.approx(0.5)
+
+    def test_untrustworthy_source_votes_against(self):
+        """A source with accuracy < 0.5 has negative trust."""
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b")])
+        model = model_with_accuracies(ds, [0.2, 0.5])
+        post = posteriors(ds, model)["o"]
+        assert post["a"] < post["b"]
+
+    def test_matches_naive_bayes_for_binary(self):
+        """For binary domains Equation 4 equals the Naive Bayes posterior."""
+        ds = FusionDataset(
+            [("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "a")]
+        )
+        accs = [0.9, 0.7, 0.6]
+        model = model_with_accuracies(ds, accs)
+        post = posteriors(ds, model)["o"]
+        like_a = accs[0] * (1 - accs[1]) * accs[2]
+        like_b = (1 - accs[0]) * accs[1] * (1 - accs[2])
+        assert post["a"] == pytest.approx(like_a / (like_a + like_b), abs=1e-9)
+
+    def test_matches_naive_bayes_multivalued(self):
+        """With the domain correction, Equation 4 matches NB with uniform
+        error spread for multi-valued objects."""
+        ds = FusionDataset(
+            [("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "c")]
+        )
+        accs = [0.8, 0.6, 0.55]
+        model = model_with_accuracies(ds, accs)
+        post = posteriors(ds, model)["o"]
+
+        def nb(value):
+            prob = 1.0
+            for acc, claimed in zip(accs, ["a", "b", "c"]):
+                prob *= acc if claimed == value else (1 - acc) / 2.0
+            return prob
+
+        normalizer = nb("a") + nb("b") + nb("c")
+        for value in ("a", "b", "c"):
+            assert post[value] == pytest.approx(nb(value) / normalizer, abs=1e-9)
+
+
+class TestClamping:
+    def test_clamped_object_is_point_mass(self, tiny_dataset):
+        model = model_with_accuracies(tiny_dataset, [0.6, 0.6, 0.6])
+        post = posteriors(tiny_dataset, model, clamp={"gigyf2": "true"})
+        assert post["gigyf2"]["true"] == 1.0
+        assert post["gigyf2"]["false"] == 0.0
+
+    def test_unclamped_objects_untouched(self, tiny_dataset):
+        model = model_with_accuracies(tiny_dataset, [0.6, 0.6, 0.6])
+        with_clamp = posteriors(tiny_dataset, model, clamp={"gigyf2": "true"})
+        without = posteriors(tiny_dataset, model)
+        assert with_clamp["gba"] == without["gba"]
+
+
+class TestMapAssignment:
+    def test_picks_argmax(self):
+        posterior = {"o": {"a": 0.3, "b": 0.7}}
+        assert map_assignment(posterior) == {"o": "b"}
+
+    def test_tie_breaks_to_first(self):
+        posterior = {"o": {"a": 0.5, "b": 0.5}}
+        assert map_assignment(posterior) == {"o": "a"}
+
+
+class TestPairScores:
+    def test_domain_correction_toggle(self, multi_valued_dataset):
+        structure = build_pair_structure(multi_valued_dataset)
+        trust = np.zeros(multi_valued_dataset.n_sources)
+        with_corr = pair_scores(structure, trust, domain_correction=True)
+        without = pair_scores(structure, trust, domain_correction=False)
+        assert np.allclose(without, 0.0)
+        assert np.any(with_corr > 0.0)
+
+    def test_extra_scores_added(self, tiny_dataset):
+        structure = build_pair_structure(tiny_dataset)
+        trust = np.zeros(tiny_dataset.n_sources)
+        extra = np.arange(structure.n_pairs, dtype=float)
+        scores = pair_scores(structure, trust, extra_scores=extra)
+        assert np.allclose(scores, extra + structure.base_scores)
+
+    def test_extra_scores_shape_validated(self, tiny_dataset):
+        structure = build_pair_structure(tiny_dataset)
+        with pytest.raises(ValueError):
+            pair_scores(structure, np.zeros(3), extra_scores=np.zeros(99))
+
+
+class TestExpectedCorrectness:
+    def test_uniform_trust_gives_vote_share(self):
+        ds = FusionDataset(
+            [("s1", "o", "a"), ("s2", "o", "a"), ("s3", "o", "b")]
+        )
+        structure = build_pair_structure(ds)
+        q, _ = expected_correctness(
+            structure, np.zeros(3), structure.label_rows({}), domain_correction=False
+        )
+        # uniform trust -> posterior = 1/2 per distinct value, regardless of votes
+        assert np.allclose(q[:2], 0.5)
+
+    def test_clamped_labels_are_binary(self, tiny_dataset):
+        structure = build_pair_structure(tiny_dataset)
+        labels = structure.label_rows({"gigyf2": "false", "gba": "true"})
+        q, _ = expected_correctness(structure, np.zeros(3), labels)
+        assert set(np.round(q, 9)) <= {0.0, 1.0}
+
+    def test_q_aligns_with_observations(self, tiny_dataset):
+        structure = build_pair_structure(tiny_dataset)
+        labels = structure.label_rows({"gigyf2": "false", "gba": "true"})
+        q, _ = expected_correctness(structure, np.zeros(3), labels)
+        # a2's single claim (gigyf2=true) must be marked incorrect
+        a2 = tiny_dataset.sources.index("a2")
+        a2_rows = structure.obs_source_idx == a2
+        assert np.all(q[a2_rows] == 0.0)

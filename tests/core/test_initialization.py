@@ -1,0 +1,89 @@
+"""Tests for source-quality initialization (unseen-source prediction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ERMConfig,
+    ERMLearner,
+    evaluate_initialization,
+    initialization_curve,
+    predict_unseen_accuracies,
+)
+from repro.data import SyntheticConfig, generate
+from repro.fusion import DatasetError
+
+
+@pytest.fixture(scope="module")
+def feature_instance():
+    return generate(
+        SyntheticConfig(
+            n_sources=100,
+            n_objects=200,
+            density=0.15,
+            avg_accuracy=0.7,
+            accuracy_spread=0.18,
+            n_features=6,
+            n_informative=4,
+            feature_strength=2.0,
+            seed=13,
+        )
+    )
+
+
+class TestEvaluateInitialization:
+    def test_report_structure(self, feature_instance):
+        report = evaluate_initialization(feature_instance.dataset, 0.5, seed=0)
+        assert report.fraction_used == 0.5
+        assert set(report.predictions) == set(report.reference)
+        assert report.error >= 0.0
+
+    def test_predictions_in_unit_interval(self, feature_instance):
+        report = evaluate_initialization(feature_instance.dataset, 0.4, seed=1)
+        assert all(0.0 <= p <= 1.0 for p in report.predictions.values())
+
+    def test_beats_uninformed_baseline(self, feature_instance):
+        """Feature-based prediction must beat predicting a constant 0.5."""
+        report = evaluate_initialization(feature_instance.dataset, 0.75, seed=0)
+        baseline = float(
+            np.mean([abs(0.5 - acc) for acc in report.reference.values()])
+        )
+        assert report.error < baseline + 0.02
+
+    def test_held_out_sources_not_used(self, feature_instance):
+        report = evaluate_initialization(feature_instance.dataset, 0.5, seed=3)
+        # predictions must be for sources outside the used set; the used set
+        # has fraction 0.5 of sources, so predictions cover at most half.
+        assert len(report.predictions) <= feature_instance.dataset.n_sources // 2 + 1
+
+    def test_invalid_fraction_rejected(self, feature_instance):
+        with pytest.raises(DatasetError):
+            evaluate_initialization(feature_instance.dataset, 1.0)
+        with pytest.raises(DatasetError):
+            evaluate_initialization(feature_instance.dataset, 0.0)
+
+
+class TestInitializationCurve:
+    def test_curve_keys(self, feature_instance):
+        curve = initialization_curve(
+            feature_instance.dataset, fractions=(0.4, 0.6), seeds=(0,)
+        )
+        assert set(curve) == {0.4, 0.6}
+
+    def test_more_sources_no_worse(self, feature_instance):
+        """Figure 7's trend: error decreases (or stays flat) with coverage."""
+        curve = initialization_curve(
+            feature_instance.dataset, fractions=(0.25, 0.75), seeds=(0, 1, 2)
+        )
+        assert curve[0.75] <= curve[0.25] + 0.05
+
+
+class TestPredictUnseen:
+    def test_matches_model_prediction(self, feature_instance):
+        ds = feature_instance.dataset
+        model = ERMLearner(ERMConfig(intercept=True)).fit(ds, ds.ground_truth)
+        features = {"new-source": {"f0": True, "f1": False}}
+        predictions = predict_unseen_accuracies(model, features)
+        assert predictions["new-source"] == pytest.approx(
+            model.predict_accuracy(features["new-source"])
+        )

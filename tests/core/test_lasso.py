@@ -1,0 +1,89 @@
+"""Tests for the lasso-path feature analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import lasso_path
+from repro.data import SyntheticConfig, generate
+from repro.fusion import DatasetError, FusionDataset
+
+
+@pytest.fixture(scope="module")
+def informative_instance():
+    """Strongly feature-driven instance: first features carry the signal."""
+    return generate(
+        SyntheticConfig(
+            n_sources=120,
+            n_objects=150,
+            density=0.15,
+            avg_accuracy=0.7,
+            accuracy_spread=0.2,
+            n_features=6,
+            n_informative=2,
+            feature_strength=2.5,
+            seed=21,
+        )
+    )
+
+
+class TestLassoPath:
+    def test_shapes(self, informative_instance):
+        path = lasso_path(informative_instance.dataset, n_penalties=10)
+        assert path.weights.shape == (10, len(path.feature_labels))
+        assert path.penalties.shape == (10,)
+        assert np.all(np.diff(path.penalties) < 0)  # decreasing
+
+    def test_mu_in_unit_interval(self, informative_instance):
+        path = lasso_path(informative_instance.dataset, n_penalties=8)
+        assert np.all(path.mu >= 0.0)
+        assert np.all(path.mu <= 1.0)
+        assert path.mu[0] == pytest.approx(0.0)
+
+    def test_strongest_penalty_all_zero(self, informative_instance):
+        path = lasso_path(informative_instance.dataset, n_penalties=8)
+        assert np.allclose(path.weights[0], 0.0, atol=1e-6)
+
+    def test_weakest_penalty_has_active_features(self, informative_instance):
+        path = lasso_path(informative_instance.dataset, n_penalties=8)
+        assert np.any(np.abs(path.weights[-1]) > 0.05)
+
+    def test_informative_features_activate_first(self, informative_instance):
+        """The synthetic signal features (f0, f1) must dominate the early path."""
+        path = lasso_path(informative_instance.dataset, n_penalties=20)
+        order = path.activation_order()
+        first_two_names = {label.split("=")[0] for label in order[:2]}
+        assert first_two_names <= {"f0", "f1"}
+
+    def test_activation_order_no_duplicates(self, informative_instance):
+        path = lasso_path(informative_instance.dataset, n_penalties=10)
+        order = path.activation_order()
+        assert len(order) == len(set(order))
+
+    def test_final_weights_keys(self, informative_instance):
+        path = lasso_path(informative_instance.dataset, n_penalties=6)
+        final = path.final_weights()
+        assert set(final) == set(path.feature_labels)
+
+    def test_important_features_limit(self, informative_instance):
+        path = lasso_path(informative_instance.dataset, n_penalties=6)
+        assert len(path.important_features(top=3)) <= 3
+
+    def test_requires_truth(self):
+        ds = FusionDataset(
+            [("s", "o", "v")], source_features={"s": {"x": 1.0}}
+        )
+        with pytest.raises(DatasetError, match="ground-truth"):
+            lasso_path(ds)
+
+    def test_requires_features(self, small_dataset):
+        ds = FusionDataset(
+            [("s", "o", "v")], ground_truth={"o": "v"}
+        )
+        with pytest.raises(DatasetError, match="features"):
+            lasso_path(ds)
+
+    def test_partial_truth_supported(self, informative_instance):
+        ds = informative_instance.dataset
+        split = ds.split(0.3, seed=0)
+        path = lasso_path(ds, truth=split.train_truth, n_penalties=5)
+        assert path.weights.shape[0] == 5

@@ -1,0 +1,147 @@
+"""Property-based tests of core model invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_pair_structure, map_assignment, posteriors
+from repro.core.model import AccuracyModel
+from repro.fusion import FusionDataset, Observation
+from repro.optim import logit, sigmoid
+
+
+@st.composite
+def small_fusion_dataset(draw):
+    """Random tiny fusion dataset: 2-6 sources, 1-5 objects, 2-3 values."""
+    n_sources = draw(st.integers(min_value=2, max_value=6))
+    n_objects = draw(st.integers(min_value=1, max_value=5))
+    n_values = draw(st.integers(min_value=2, max_value=3))
+    observations = []
+    for obj in range(n_objects):
+        panel_size = draw(st.integers(min_value=1, max_value=n_sources))
+        panel = draw(
+            st.permutations(list(range(n_sources))).map(lambda p: p[:panel_size])
+        )
+        for source in panel:
+            value = draw(st.integers(min_value=0, max_value=n_values - 1))
+            observations.append(Observation(f"s{source}", f"o{obj}", f"v{value}"))
+    return FusionDataset(observations)
+
+
+@st.composite
+def dataset_with_accuracies(draw):
+    dataset = draw(small_fusion_dataset())
+    accuracies = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=0.95),
+            min_size=dataset.n_sources,
+            max_size=dataset.n_sources,
+        )
+    )
+    model = AccuracyModel(
+        w_sources=np.asarray([logit(a) for a in accuracies]),
+        w_features=np.zeros(0),
+        design=np.zeros((dataset.n_sources, 0)),
+        source_ids=dataset.sources.items,
+    )
+    return dataset, model
+
+
+class TestPosteriorInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(dataset_with_accuracies())
+    def test_posteriors_are_distributions(self, case):
+        dataset, model = case
+        result = posteriors(dataset, model)
+        for obj, dist in result.items():
+            total = sum(dist.values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+            assert all(p >= 0.0 for p in dist.values())
+            assert set(dist) == set(dataset.domain(obj))
+
+    @settings(max_examples=40, deadline=None)
+    @given(dataset_with_accuracies())
+    def test_map_values_are_claimed(self, case):
+        dataset, model = case
+        values = map_assignment(posteriors(dataset, model))
+        for obj, value in values.items():
+            assert value in dataset.domain(obj)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dataset_with_accuracies())
+    def test_clamping_is_point_mass(self, case):
+        dataset, model = case
+        first_obj = dataset.objects.items[0]
+        clamp_value = dataset.domain(first_obj)[0]
+        result = posteriors(dataset, model, clamp={first_obj: clamp_value})
+        assert result[first_obj][clamp_value] == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(dataset_with_accuracies(), st.floats(min_value=-2.0, max_value=2.0))
+    def test_uniform_trust_shift_is_invariant_on_unanimous_counts(self, case, shift):
+        """Adding a constant to every source's trust leaves posteriors
+        unchanged only when vote counts per value are equal; in general it
+        re-weights by vote count.  For the special case of one observation
+        per value, the posterior must be exactly shift-invariant."""
+        dataset, model = case
+        structure = build_pair_structure(dataset)
+        # Check only objects with exactly one vote per claimed value.
+        counts = np.bincount(structure.obs_pair_idx, minlength=structure.n_pairs)
+        eligible_positions = [
+            position
+            for position in range(structure.n_objects)
+            if all(counts[row] == 1 for row in structure.rows_of(position))
+        ]
+        base = posteriors(dataset, model)
+        shifted_model = AccuracyModel(
+            w_sources=model.w_sources + shift,
+            w_features=model.w_features,
+            design=model.design,
+            source_ids=model.source_ids,
+        )
+        shifted = posteriors(dataset, shifted_model)
+        for position in eligible_positions:
+            obj = structure.object_ids[position]
+            for value, prob in base[obj].items():
+                assert shifted[obj][value] == pytest.approx(prob, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dataset_with_accuracies())
+    def test_monotone_in_source_trust(self, case):
+        """Raising one source's accuracy cannot lower the posterior of the
+        values it claims."""
+        dataset, model = case
+        target_idx = 0
+        target_source = dataset.sources.item(target_idx)
+        base = posteriors(dataset, model)
+        boosted = AccuracyModel(
+            w_sources=model.w_sources
+            + np.eye(dataset.n_sources)[target_idx] * 1.5,
+            w_features=model.w_features,
+            design=model.design,
+            source_ids=model.source_ids,
+        )
+        bumped = posteriors(dataset, boosted)
+        for obs in dataset.observations_of_source(target_source):
+            assert bumped[obs.obj][obs.value] >= base[obs.obj][obs.value] - 1e-9
+
+
+class TestEMStability:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_em_always_returns_finite_model(self, seed):
+        from repro.core import EMConfig, EMLearner
+        from repro.data import SyntheticConfig, generate
+
+        dataset = generate(
+            SyntheticConfig(
+                n_sources=15, n_objects=30, density=0.2, avg_accuracy=0.65, seed=seed
+            )
+        ).dataset
+        model = EMLearner(EMConfig(use_features=False, max_iterations=10)).fit(
+            dataset, {}
+        )
+        accuracies = model.accuracies()
+        assert np.all(np.isfinite(accuracies))
+        assert np.all((accuracies > 0.0) & (accuracies < 1.0))

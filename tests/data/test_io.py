@@ -1,0 +1,70 @@
+"""Tests for CSV dataset persistence."""
+
+import pytest
+
+from repro.data import load_dataset, save_dataset
+from repro.fusion import DatasetError, FusionDataset
+
+
+class TestRoundTrip:
+    def test_observations_preserved(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path)
+        loaded = load_dataset(tmp_path)
+        assert [
+            (o.source, o.obj, o.value) for o in loaded.observations
+        ] == [(o.source, o.obj, o.value) for o in tiny_dataset.observations]
+
+    def test_ground_truth_preserved(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path)
+        loaded = load_dataset(tmp_path)
+        assert loaded.ground_truth == tiny_dataset.ground_truth
+
+    def test_features_parsed_back(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path)
+        loaded = load_dataset(tmp_path)
+        assert loaded.source_features["a1"]["citations"] == 34
+        assert loaded.source_features["a1"]["year"] == 2009
+
+    def test_accuracies_preserved(self, tmp_path):
+        ds = FusionDataset(
+            [("s", "o", "v")], true_accuracies={"s": 0.875}
+        )
+        save_dataset(ds, tmp_path)
+        loaded = load_dataset(tmp_path)
+        assert loaded.true_accuracies["s"] == pytest.approx(0.875)
+
+    def test_bool_and_float_features(self, tmp_path):
+        ds = FusionDataset(
+            [("s", "o", "v")],
+            source_features={"s": {"flag": True, "rate": 0.25, "label": "xyz"}},
+        )
+        save_dataset(ds, tmp_path)
+        loaded = load_dataset(tmp_path)
+        feats = loaded.source_features["s"]
+        assert feats["flag"] is True
+        assert feats["rate"] == 0.25
+        assert feats["label"] == "xyz"
+
+    def test_optional_files_absent(self, tmp_path):
+        ds = FusionDataset([("s", "o", "v")])
+        save_dataset(ds, tmp_path)
+        loaded = load_dataset(tmp_path)
+        assert loaded.ground_truth == {}
+        assert loaded.source_features == {}
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="missing"):
+            load_dataset(tmp_path / "nonexistent")
+
+    def test_name_assigned(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path)
+        assert load_dataset(tmp_path, name="renamed").name == "renamed"
+
+    def test_simulator_round_trip(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path)
+        loaded = load_dataset(tmp_path)
+        assert loaded.n_observations == small_dataset.n_observations
+        assert loaded.n_sources == small_dataset.n_sources
+        assert set(loaded.ground_truth.values()) == set(
+            small_dataset.ground_truth.values()
+        )

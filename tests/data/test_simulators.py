@@ -1,0 +1,158 @@
+"""Tests for the four paper-dataset simulators (Table 1 fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    generate_crowd,
+    generate_demos,
+    generate_genomics,
+    generate_stocks,
+)
+
+
+@pytest.fixture(scope="module")
+def stocks():
+    return generate_stocks(seed=0)
+
+
+@pytest.fixture(scope="module")
+def demos():
+    return generate_demos(seed=0)
+
+
+@pytest.fixture(scope="module")
+def crowd():
+    return generate_crowd(seed=0)
+
+
+@pytest.fixture(scope="module")
+def genomics():
+    return generate_genomics(seed=0)
+
+
+class TestStocks:
+    def test_table1_shape(self, stocks):
+        stats = stocks.stats()
+        assert stats.n_sources == 34
+        assert stats.n_objects == 907
+        assert stats.n_domain_features == 7
+        assert 25 < stats.avg_observations_per_object < 36
+
+    def test_low_average_accuracy(self, stocks):
+        """Table 1 reports avg accuracy < 0.5 for Stocks."""
+        assert stocks.stats().avg_source_accuracy < 0.5
+
+    def test_small_claimed_domains(self, stocks):
+        sizes = [
+            len(stocks.domain_by_index(i)) for i in range(stocks.n_objects)
+        ]
+        assert max(sizes) <= 3  # truth + at most two alternatives
+        assert np.mean(sizes) > 1.5  # real conflicts exist
+
+    def test_pagerank_proxy_uninformative(self, stocks):
+        """TotalSitesLinkingIn must not correlate with accuracy (Figure 6)."""
+        levels = [
+            int(stocks.source_features[s]["TotalSitesLinkingIn"][1:])
+            for s in stocks.sources
+        ]
+        accs = [stocks.true_accuracies[s] for s in stocks.sources]
+        assert abs(np.corrcoef(levels, accs)[0, 1]) < 0.4
+
+    def test_bounce_rate_informative(self, stocks):
+        levels = [
+            int(stocks.source_features[s]["BounceRate"][1:]) for s in stocks.sources
+        ]
+        accs = [stocks.true_accuracies[s] for s in stocks.sources]
+        assert np.corrcoef(levels, accs)[0, 1] < -0.3  # high bounce = bad
+
+    def test_deterministic(self):
+        a = generate_stocks(n_objects=50, seed=3)
+        b = generate_stocks(n_objects=50, seed=3)
+        assert a.observations == b.observations
+
+
+class TestDemos:
+    def test_table1_shape(self, demos):
+        stats = demos.stats()
+        assert stats.n_sources == 522
+        assert stats.n_objects == 3105
+        assert 20000 < stats.n_observations < 36000
+        assert stats.avg_source_accuracy == pytest.approx(0.604, abs=0.03)
+
+    def test_binary_domains(self, demos):
+        for i in range(0, demos.n_objects, 101):
+            assert set(demos.domain_by_index(i).items) <= {"real", "spurious"}
+
+    def test_copying_structure_present(self, demos):
+        """Copier groups must create unusually high pairwise agreement."""
+        from repro.core import find_candidate_pairs
+
+        pairs = find_candidate_pairs(demos, min_overlap=10, min_agreement=0.9)
+        assert len(pairs) > 5
+
+
+class TestCrowd:
+    def test_table1_shape(self, crowd):
+        stats = crowd.stats()
+        assert stats.n_sources == 102
+        assert stats.n_objects == 992
+        assert stats.n_observations == 992 * 20
+        assert stats.avg_source_accuracy == pytest.approx(0.54, abs=0.03)
+
+    def test_exact_panel_size(self, crowd):
+        for i in range(0, crowd.n_objects, 37):
+            assert crowd.object_observation_rows(i).shape[0] == 20
+
+    def test_four_sentiments(self, crowd):
+        values = {obs.value for obs in crowd.observations}
+        assert values <= {"positive", "negative", "neutral", "not_weather"}
+
+    def test_channel_informative(self, crowd):
+        from repro.data.crowd import CHANNELS
+
+        by_channel = {}
+        for source in crowd.sources:
+            channel = crowd.source_features[source]["channel"]
+            by_channel.setdefault(channel, []).append(crowd.true_accuracies[source])
+        means = {c: np.mean(v) for c, v in by_channel.items()}
+        assert means["elite"] > means["clixsense"]
+
+    def test_workers_conditionally_independent(self, crowd):
+        """No copying: top pairwise agreements stay moderate."""
+        from repro.core import find_candidate_pairs
+
+        pairs = find_candidate_pairs(crowd, min_overlap=30, min_agreement=0.9)
+        assert len(pairs) == 0
+
+
+class TestGenomics:
+    def test_table1_shape(self, genomics):
+        stats = genomics.stats()
+        assert stats.n_sources == 2750
+        assert stats.n_objects == 571
+        assert stats.avg_observations_per_source < 2.0
+
+    def test_extreme_sparsity_hides_avg_accuracy(self, genomics):
+        assert genomics.stats().avg_source_accuracy is None
+
+    def test_features_dominate_accuracy(self, genomics):
+        from repro.data.genomics import STUDY_TYPES
+
+        by_study = {}
+        for source in genomics.sources:
+            study = genomics.source_features[source]["study"]
+            by_study.setdefault(study, []).append(genomics.true_accuracies[source])
+        means = {s: np.mean(v) for s, v in by_study.items()}
+        assert means["knockout"] > means["GWAS"] + 0.1
+
+    def test_every_object_conflictable(self, genomics):
+        """The GAD extract keeps objects with >= 2 observations."""
+        for i in range(0, genomics.n_objects, 29):
+            assert genomics.object_observation_rows(i).shape[0] >= 2
+
+    def test_author_long_tail(self, genomics):
+        authors = {
+            genomics.source_features[s]["author"] for s in genomics.sources
+        }
+        assert len(authors) > 500

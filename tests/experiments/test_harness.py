@@ -1,0 +1,65 @@
+"""Tests for the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    CellKey,
+    aggregate,
+    best_method_per_cell,
+    run_method,
+    sweep,
+)
+
+
+class TestRunMethod:
+    def test_basic_run(self, small_dataset):
+        result = run_method(small_dataset, "majority", 0.2, seed=0)
+        assert result.method == "majority"
+        assert result.dataset == small_dataset.name
+        assert 0.0 <= result.object_accuracy <= 1.0
+        assert result.runtime_seconds > 0.0
+
+    def test_source_error_nan_for_weight_methods(self, small_dataset):
+        result = run_method(small_dataset, "catd", 0.2, seed=0)
+        assert math.isnan(result.source_error)
+
+    def test_source_error_present_for_probabilistic(self, small_dataset):
+        result = run_method(small_dataset, "counts", 0.2, seed=0)
+        assert not math.isnan(result.source_error)
+
+    def test_unknown_method(self, small_dataset):
+        with pytest.raises(KeyError, match="unknown method"):
+            run_method(small_dataset, "nonsense", 0.2)
+
+    def test_deterministic_per_seed(self, small_dataset):
+        a = run_method(small_dataset, "slimfast-erm", 0.2, seed=1)
+        b = run_method(small_dataset, "slimfast-erm", 0.2, seed=1)
+        assert a.object_accuracy == b.object_accuracy
+
+
+class TestSweepAndAggregate:
+    def test_sweep_cardinality(self, small_dataset):
+        results = sweep(
+            small_dataset, ["majority", "counts"], (0.1, 0.2), seeds=(0, 1)
+        )
+        assert len(results) == 2 * 2 * 2
+
+    def test_aggregate_averages_seeds(self, small_dataset):
+        results = sweep(small_dataset, ["majority"], (0.2,), seeds=(0, 1, 2))
+        cells = aggregate(results)
+        key = CellKey(small_dataset.name, "majority", 0.2)
+        assert key in cells
+        assert cells[key].n_runs == 3
+        manual = sum(r.object_accuracy for r in results) / 3
+        assert cells[key].object_accuracy == pytest.approx(manual)
+
+    def test_best_method_per_cell(self, small_dataset):
+        results = sweep(
+            small_dataset, ["majority", "slimfast-em"], (0.1,), seeds=(0,)
+        )
+        cells = aggregate(results)
+        best = best_method_per_cell(cells)
+        assert (small_dataset.name, 0.1) in best
+        assert best[(small_dataset.name, 0.1)] in ("majority", "slimfast-em")

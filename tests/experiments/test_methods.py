@@ -1,0 +1,42 @@
+"""Tests for the method registry."""
+
+import pytest
+
+from repro.experiments import TABLE2_METHODS, TABLE3_METHODS, available_methods, get_method
+
+
+class TestRegistry:
+    def test_all_methods_listed(self):
+        names = available_methods()
+        for expected in (
+            "slimfast",
+            "slimfast-erm",
+            "slimfast-em",
+            "sources-erm",
+            "sources-em",
+            "counts",
+            "accu",
+            "catd",
+            "sstf",
+            "majority",
+            "truthfinder",
+        ):
+            assert expected in names
+
+    def test_table_lineups_registered(self):
+        for name in TABLE2_METHODS + TABLE3_METHODS:
+            assert name in available_methods()
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            get_method("quantum-fusion")
+
+    @pytest.mark.parametrize("name", ["slimfast-erm", "counts", "majority"])
+    def test_runners_produce_results(self, small_dataset, name):
+        runner = get_method(name)
+        split = small_dataset.split(0.2, seed=0)
+        result = runner(small_dataset, split.train_truth)
+        assert set(result.values) == set(small_dataset.objects.items)
+
+    def test_fresh_instance_each_call(self):
+        assert get_method("accu") is not get_method("accu")

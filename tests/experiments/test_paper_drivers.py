@@ -1,0 +1,120 @@
+"""Smoke tests for the table/figure drivers at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_crowd, generate_stocks
+from repro.experiments import (
+    figure4a,
+    figure5_grid,
+    figure7,
+    figure8,
+    lasso_figure,
+    run_sweep,
+    table1,
+    table2,
+    table2_panel_b,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_datasets():
+    return {
+        "stocks": generate_stocks(n_objects=100, seed=0),
+        "crowd": generate_crowd(n_objects=80, seed=0),
+    }
+
+
+@pytest.fixture(scope="module")
+def mini_report(mini_datasets):
+    return run_sweep(
+        mini_datasets,
+        methods=["slimfast-erm", "counts", "majority"],
+        fractions=(0.1, 0.3),
+        seeds=(0,),
+    )
+
+
+class TestTableDrivers:
+    def test_table1(self, mini_datasets):
+        text = table1(mini_datasets)
+        assert "# Sources" in text
+        assert "34" in text  # stocks source count
+
+    def test_table2(self, mini_report):
+        text = table2(mini_report)
+        assert "object-value accuracy" in text
+        assert "slimfast-erm" in text
+
+    def test_table2_panel_b(self, mini_report):
+        text = table2_panel_b(mini_report, reference="slimfast-erm")
+        assert "relative difference" in text
+        assert "%" in text
+
+    def test_table3(self, mini_report):
+        text = table3(mini_report, methods=["slimfast-erm", "counts"])
+        assert "source-accuracy" in text
+
+    def test_table5(self, mini_report):
+        text = table5(mini_report)
+        assert "runtimes" in text
+
+    def test_table4(self, mini_datasets):
+        rows, text = table4(mini_datasets, fractions=(0.2,), seeds=(0,))
+        assert len(rows) == 2
+        for row in rows:
+            assert row.decision in ("em", "erm")
+        assert "optimizer evaluation" in text
+
+    def test_table6(self, mini_datasets):
+        text = table6(mini_datasets["stocks"], fractions=(0.2,))
+        assert "runtime breakdown" in text
+
+
+class TestFigureDrivers:
+    def test_figure4a_points(self):
+        points = figure4a(
+            train_fractions=(0.05, 0.4),
+            n_sources=60,
+            n_objects=60,
+            seeds=(0,),
+        )
+        assert len(points) == 2
+        for point in points:
+            assert 0.0 <= point.em_accuracy <= 1.0
+            assert point.winner in ("em", "erm", "tie")
+
+    def test_figure5_grid_cells(self):
+        cells = figure5_grid(
+            train_fractions=(0.05,),
+            accuracies=(0.6,),
+            densities=(0.02,),
+            n_sources=60,
+            n_objects=60,
+            seeds=(0,),
+        )
+        assert len(cells) == 1
+        assert cells[0].winner in ("em", "erm", "-")
+
+    def test_figure7(self, mini_datasets):
+        curves, text = figure7(
+            {"stocks": mini_datasets["stocks"]}, fractions=(0.5,), seeds=(0,)
+        )
+        assert 0.0 <= curves["stocks"][0.5] <= 1.0
+        assert "unseen sources" in text
+
+    def test_figure8(self, mini_datasets):
+        report = figure8(
+            mini_datasets["stocks"], fractions=(0.2,), seeds=(0,), max_pairs=20
+        )
+        assert 0.2 in report.accuracy_with
+        assert "Copying" in report.text or "copying" in report.text
+
+    def test_lasso_figure(self, mini_datasets):
+        report = lasso_figure(mini_datasets["stocks"], n_penalties=6)
+        assert report.path.weights.shape[0] == 6
+        assert "predictive features" in report.text

@@ -1,0 +1,52 @@
+"""Tests for table/series rendering."""
+
+from repro.experiments import accuracy_matrix, format_table, series
+from repro.experiments.harness import CellKey, CellStats
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Blong"], [["x", 1.23456], ["yy", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert "1.235" in text
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestAccuracyMatrix:
+    def _cells(self):
+        return {
+            CellKey("ds", "m1", 0.1): CellStats(0.9, 0.05, 1.0, 3),
+            CellKey("ds", "m2", 0.1): CellStats(0.8, 0.10, 2.0, 3),
+        }
+
+    def test_object_accuracy_matrix(self):
+        text = accuracy_matrix(self._cells(), "ds", ["m1", "m2"], [0.1])
+        assert "0.900" in text
+        assert "0.800" in text
+
+    def test_missing_cells_render_dash(self):
+        text = accuracy_matrix(self._cells(), "ds", ["m1", "m3"], [0.1])
+        assert "-" in text
+
+    def test_metric_selection(self):
+        text = accuracy_matrix(
+            self._cells(), "ds", ["m1"], [0.1], metric="runtime_seconds"
+        )
+        assert "1.000" in text
+
+
+class TestSeries:
+    def test_sorted_by_x(self):
+        text = series({0.2: 1.0, 0.1: 2.0}, "x", "y")
+        lines = text.splitlines()
+        assert lines[2].startswith("0.1")
+        assert lines[3].startswith("0.2")

@@ -1,0 +1,85 @@
+"""Tests for the Figure 4/5 synthetic sweep drivers."""
+
+import pytest
+
+from repro.experiments import figure4a, figure4b, figure4c, figure5_grid
+from repro.experiments.synthetic_sweeps import SweepPoint
+
+
+class TestSweepPoint:
+    def test_winner(self):
+        assert SweepPoint(0.1, em_accuracy=0.9, erm_accuracy=0.8).winner == "em"
+        assert SweepPoint(0.1, em_accuracy=0.7, erm_accuracy=0.8).winner == "erm"
+        assert SweepPoint(0.1, em_accuracy=0.8, erm_accuracy=0.8).winner == "tie"
+
+
+class TestFigure4Drivers:
+    def test_figure4a_shapes(self):
+        points = figure4a(
+            train_fractions=(0.05, 0.5),
+            n_sources=200,
+            n_objects=100,
+            seeds=(0,),
+        )
+        assert [p.x for p in points] == [0.05, 0.5]
+        for point in points:
+            assert 0.0 <= point.em_accuracy <= 1.0
+            assert 0.0 <= point.erm_accuracy <= 1.0
+
+    def test_figure4a_intercept_variant_differs(self):
+        plain = figure4a(
+            train_fractions=(0.1,), n_sources=300, n_objects=100,
+            density=0.01, seeds=(0,),
+        )
+        intercept = figure4a(
+            train_fractions=(0.1,), n_sources=300, n_objects=100,
+            density=0.01, seeds=(0,), erm_intercept=True,
+        )
+        # EM runs are identical; ERM should change with the intercept.
+        assert plain[0].em_accuracy == pytest.approx(intercept[0].em_accuracy)
+        assert plain[0].erm_accuracy != pytest.approx(
+            intercept[0].erm_accuracy, abs=1e-12
+        )
+
+    def test_figure4b_label_budget_shrinks_with_density(self):
+        points = figure4b(
+            densities=(0.01, 0.05),
+            n_sources=200,
+            n_objects=100,
+            train_observations=50,
+            seeds=(0,),
+        )
+        assert len(points) == 2
+
+    def test_figure4c_x_axis(self):
+        points = figure4c(
+            accuracies=(0.6, 0.8), n_sources=200, n_objects=100, seeds=(0,)
+        )
+        assert [p.x for p in points] == [0.6, 0.8]
+
+
+class TestFigure5Driver:
+    def test_grid_cardinality_and_fields(self):
+        cells = figure5_grid(
+            train_fractions=(0.05,),
+            accuracies=(0.6, 0.8),
+            densities=(0.02,),
+            n_sources=200,
+            n_objects=100,
+            seeds=(0,),
+        )
+        assert len(cells) == 2
+        for cell in cells:
+            assert cell.winner in ("em", "erm", "-")
+
+    def test_tie_margin_produces_dash(self):
+        cells = figure5_grid(
+            train_fractions=(0.05,),
+            accuracies=(0.7,),
+            densities=(0.02,),
+            n_sources=200,
+            n_objects=100,
+            seeds=(0,),
+            tie_margin=1.0,  # everything within margin
+        )
+        assert cells[0].winner == "-"

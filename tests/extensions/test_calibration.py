@@ -1,0 +1,93 @@
+"""Tests for posterior calibration diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SLiMFast
+from repro.extensions import (
+    confidence_threshold_for_precision,
+    coverage_at_threshold,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+def perfect_posteriors(truth):
+    return {obj: {value: 1.0} for obj, value in truth.items()}
+
+
+class TestReliabilityCurve:
+    def test_perfect_predictions(self):
+        truth = {f"o{i}": "v" for i in range(20)}
+        points = reliability_curve(perfect_posteriors(truth), truth)
+        assert len(points) == 1
+        assert points[0].accuracy == 1.0
+        assert points[0].mean_confidence == 1.0
+
+    def test_bucket_counts_sum(self):
+        rng = np.random.default_rng(0)
+        truth = {}
+        posteriors = {}
+        for i in range(100):
+            confidence = float(rng.uniform(0.5, 1.0))
+            correct = rng.random() < confidence
+            truth[f"o{i}"] = "a" if correct else "b"
+            posteriors[f"o{i}"] = {"a": confidence, "b": 1.0 - confidence}
+        points = reliability_curve(posteriors, truth, n_buckets=5)
+        assert sum(p.count for p in points) == 100
+
+    def test_empty_inputs(self):
+        assert reliability_curve({}, {}) == []
+
+
+class TestECE:
+    def test_zero_for_perfect(self):
+        truth = {f"o{i}": "v" for i in range(10)}
+        assert expected_calibration_error(perfect_posteriors(truth), truth) == 0.0
+
+    def test_large_for_confidently_wrong(self):
+        truth = {f"o{i}": "right" for i in range(10)}
+        posteriors = {f"o{i}": {"wrong": 0.99, "right": 0.01} for i in range(10)}
+        assert expected_calibration_error(posteriors, truth) > 0.9
+
+    def test_nan_for_empty(self):
+        assert math.isnan(expected_calibration_error({}, {}))
+
+    def test_slimfast_reasonably_calibrated(self, small_dataset):
+        """End-to-end: ERM posteriors should not be wildly miscalibrated."""
+        split = small_dataset.split(0.4, seed=0)
+        result = SLiMFast(learner="erm").fit_predict(small_dataset, split.train_truth)
+        test_truth = {
+            obj: small_dataset.ground_truth[obj] for obj in split.test_objects
+        }
+        ece = expected_calibration_error(result.posteriors, test_truth)
+        assert ece < 0.25
+
+
+class TestPrecisionThreshold:
+    def test_finds_threshold(self):
+        truth = {"a": "x", "b": "x", "c": "x"}
+        posteriors = {
+            "a": {"x": 0.95, "y": 0.05},
+            "b": {"x": 0.80, "y": 0.20},
+            "c": {"y": 0.70, "x": 0.30},  # wrong prediction at 0.70
+        }
+        threshold = confidence_threshold_for_precision(posteriors, truth, 1.0)
+        assert threshold == pytest.approx(0.80)
+
+    def test_unreachable_target(self):
+        truth = {"a": "x"}
+        posteriors = {"a": {"y": 0.9, "x": 0.1}}
+        assert confidence_threshold_for_precision(posteriors, truth, 0.99) is None
+
+    def test_coverage_tradeoff(self):
+        truth = {f"o{i}": "v" for i in range(10)}
+        posteriors = {
+            f"o{i}": {"v": 0.5 + i * 0.05, "w": 0.5 - i * 0.05} for i in range(10)
+        }
+        low_cov, low_prec = coverage_at_threshold(posteriors, truth, 0.9)
+        high_cov, high_prec = coverage_at_threshold(posteriors, truth, 0.5)
+        assert high_cov >= low_cov
+        assert low_prec == 1.0

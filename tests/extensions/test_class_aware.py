@@ -1,0 +1,93 @@
+"""Tests for per-class source accuracies."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate
+from repro.extensions import ClassAwareSLiMFast
+from repro.fusion import FusionDataset, Observation, object_value_accuracy
+
+
+@pytest.fixture(scope="module")
+def two_class_dataset():
+    """Sources that are accurate on class A objects and poor on class B."""
+    rng = np.random.default_rng(42)
+    observations = []
+    truth = {}
+    classes = {}
+    n_sources = 30
+    for obj_idx in range(200):
+        cls = "A" if obj_idx % 2 == 0 else "B"
+        obj = f"o{obj_idx}"
+        classes[obj] = cls
+        truth[obj] = "t"
+        panel = rng.choice(n_sources, size=6, replace=False)
+        for s in panel:
+            # every source: 0.85 accurate on A, 0.35 on B
+            accuracy = 0.85 if cls == "A" else 0.35
+            value = "t" if rng.random() < accuracy else "f"
+            observations.append(Observation(f"s{s}", obj, value))
+    dataset = FusionDataset(observations, ground_truth=truth, name="two-class")
+    return dataset, classes
+
+
+class TestClassAwareSLiMFast:
+    def test_all_objects_resolved(self, two_class_dataset):
+        dataset, classes = two_class_dataset
+        split = dataset.split(0.3, seed=0)
+        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(
+            dataset, split.train_truth
+        )
+        assert set(out.result.values) == set(dataset.objects.items)
+
+    def test_per_class_accuracies_differ(self, two_class_dataset):
+        dataset, classes = two_class_dataset
+        split = dataset.split(0.5, seed=0)
+        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(
+            dataset, split.train_truth
+        )
+        a_accs = [
+            v for v in out.class_accuracies["A"].values() if v is not None
+        ]
+        b_accs = [
+            v for v in out.class_accuracies["B"].values() if v is not None
+        ]
+        assert np.mean(a_accs) > np.mean(b_accs) + 0.2
+
+    def test_beats_class_blind_model(self, two_class_dataset):
+        """Class-aware accuracies must beat the uniform-accuracy model on
+        data with genuinely class-dependent reliability."""
+        from repro.core import SLiMFast
+
+        dataset, classes = two_class_dataset
+        split = dataset.split(0.5, seed=0)
+        test = list(split.test_objects)
+        aware = ClassAwareSLiMFast(classes, learner="erm").fit_predict(
+            dataset, split.train_truth
+        )
+        blind = SLiMFast(learner="erm").fit_predict(dataset, split.train_truth)
+        aware_acc = object_value_accuracy(
+            aware.result.values, dataset.ground_truth, test
+        )
+        blind_acc = object_value_accuracy(blind.values, dataset.ground_truth, test)
+        assert aware_acc >= blind_acc - 0.02
+
+    def test_small_classes_merged(self):
+        ds = FusionDataset(
+            [("s1", f"o{i}", "v") for i in range(12)] + [("s2", f"o{i}", "v") for i in range(12)],
+            ground_truth={f"o{i}": "v" for i in range(12)},
+        )
+        classes = {"o0": "tiny"}  # 1 object -> merged into default
+        model = ClassAwareSLiMFast(classes, min_class_objects=5, learner="erm")
+        out = model.fit_predict(ds, ds.ground_truth)
+        assert out.result.diagnostics["n_classes"] == 1
+
+    def test_accuracy_of_accessor(self, two_class_dataset):
+        dataset, classes = two_class_dataset
+        split = dataset.split(0.4, seed=0)
+        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(
+            dataset, split.train_truth
+        )
+        some_source = next(iter(out.class_accuracies["A"]))
+        assert out.accuracy_of(some_source, "A") is not None
+        assert out.accuracy_of("ghost-source", "A") is None

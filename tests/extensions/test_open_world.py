@@ -1,0 +1,97 @@
+"""Tests for open-world semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import ERMLearner, SLiMFast
+from repro.extensions import (
+    UNKNOWN,
+    OpenWorldSLiMFast,
+    calibrate_theta,
+    open_world_posteriors,
+)
+from repro.fusion import FusionDataset
+
+
+@pytest.fixture
+def fitted(small_dataset):
+    split = small_dataset.split(0.3, seed=0)
+    fuser = SLiMFast(learner="erm").fit(small_dataset, split.train_truth)
+    return small_dataset, fuser.model_, split
+
+
+class TestOpenWorldPosteriors:
+    def test_unknown_in_every_posterior(self, fitted):
+        dataset, model, _ = fitted
+        posteriors = open_world_posteriors(dataset, model, theta=0.0)
+        for dist in posteriors.values():
+            assert UNKNOWN in dist
+            assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_high_theta_abstains_everywhere(self, fitted):
+        dataset, model, _ = fitted
+        posteriors = open_world_posteriors(dataset, model, theta=50.0)
+        for dist in posteriors.values():
+            assert max(dist, key=dist.get) == UNKNOWN
+
+    def test_low_theta_never_abstains(self, fitted):
+        dataset, model, _ = fitted
+        posteriors = open_world_posteriors(dataset, model, theta=-50.0)
+        for dist in posteriors.values():
+            assert max(dist, key=dist.get) != UNKNOWN
+
+    def test_monotone_in_theta(self, fitted):
+        dataset, model, _ = fitted
+        low = open_world_posteriors(dataset, model, theta=-1.0)
+        high = open_world_posteriors(dataset, model, theta=1.0)
+        for obj in dataset.objects:
+            assert high[obj][UNKNOWN] >= low[obj][UNKNOWN]
+
+
+class TestCalibrateTheta:
+    def test_all_truth_claimed_prefers_low_theta(self, fitted):
+        dataset, model, _ = fitted
+        theta = calibrate_theta(dataset, model, dataset.ground_truth)
+        posteriors = open_world_posteriors(dataset, model, theta)
+        abstentions = sum(
+            1 for dist in posteriors.values() if max(dist, key=dist.get) == UNKNOWN
+        )
+        assert abstentions < dataset.n_objects * 0.2
+
+    def test_unknown_labels_raise_theta(self, fitted):
+        dataset, model, _ = fitted
+        # pretend a chunk of objects have no correct claim
+        truth = dict(dataset.ground_truth)
+        for obj in list(truth)[: len(truth) // 2]:
+            truth[obj] = UNKNOWN
+        theta_mixed = calibrate_theta(dataset, model, truth)
+        theta_plain = calibrate_theta(dataset, model, dataset.ground_truth)
+        assert theta_mixed >= theta_plain
+
+
+class TestOpenWorldSLiMFast:
+    def test_predict_with_fixed_theta(self, fitted):
+        dataset, model, split = fitted
+        out = OpenWorldSLiMFast(theta=0.5).predict(dataset, model, split.train_truth)
+        assert out.theta == 0.5
+        assert out.result.method == "slimfast-open-world"
+        assert out.abstained == frozenset(
+            obj for obj, value in out.result.values.items() if value == UNKNOWN
+        )
+
+    def test_unset_theta_requires_truth(self, fitted):
+        dataset, model, _ = fitted
+        with pytest.raises(ValueError, match="calibrate"):
+            OpenWorldSLiMFast().predict(dataset, model)
+
+    def test_training_truth_clamped(self, fitted):
+        dataset, model, split = fitted
+        out = OpenWorldSLiMFast(theta=0.0).predict(dataset, model, split.train_truth)
+        for obj, value in split.train_truth.items():
+            assert out.result.values[obj] == value
+
+    def test_diagnostics(self, fitted):
+        dataset, model, split = fitted
+        out = OpenWorldSLiMFast(theta=2.0).predict(dataset, model, split.train_truth)
+        assert out.result.diagnostics["theta"] == 2.0
+        assert out.result.diagnostics["n_abstained"] == len(out.abstained)

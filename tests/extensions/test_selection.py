@@ -1,0 +1,91 @@
+"""Tests for budgeted source selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import SLiMFast
+from repro.extensions import (
+    coverage_utility,
+    evaluate_selection,
+    greedy_select,
+    rank_sources,
+)
+from repro.fusion import DatasetError, FusionDataset
+
+
+class TestRankSources:
+    def test_accuracy_ordering_without_coverage(self, small_dataset):
+        accuracies = {s: small_dataset.true_accuracies[s] for s in small_dataset.sources}
+        ranking = rank_sources(small_dataset, accuracies, coverage_weight=0.0)
+        ranked_accs = [accuracies[s] for s in ranking]
+        assert ranked_accs == sorted(ranked_accs, reverse=True)
+
+    def test_coverage_breaks_ties(self):
+        ds = FusionDataset(
+            [("busy", f"o{i}", "v") for i in range(10)] + [("idle", "o0", "w")]
+        )
+        accuracies = {"busy": 0.7, "idle": 0.7}
+        ranking = rank_sources(ds, accuracies, coverage_weight=1.0)
+        assert ranking[0] == "busy"
+
+
+class TestCoverageUtility:
+    def test_empty_selection_zero(self, small_dataset):
+        accs = small_dataset.true_accuracies
+        assert coverage_utility(small_dataset, [], accs) == 0.0
+
+    def test_monotone_in_selection(self, small_dataset):
+        accs = {s: small_dataset.true_accuracies[s] for s in small_dataset.sources}
+        good_sources = sorted(accs, key=accs.get, reverse=True)
+        u1 = coverage_utility(small_dataset, good_sources[:5], accs)
+        u2 = coverage_utility(small_dataset, good_sources[:15], accs)
+        assert u2 >= u1
+
+    def test_accurate_sources_more_useful(self, small_dataset):
+        accs = {s: small_dataset.true_accuracies[s] for s in small_dataset.sources}
+        ordered = sorted(accs, key=accs.get)
+        worst = ordered[:8]
+        best = ordered[-8:]
+        assert coverage_utility(small_dataset, best, accs) > coverage_utility(
+            small_dataset, worst, accs
+        )
+
+
+class TestGreedySelect:
+    def test_budget_respected(self, small_dataset):
+        accs = {s: small_dataset.true_accuracies[s] for s in small_dataset.sources}
+        trace = greedy_select(small_dataset, accs, budget=5)
+        assert len(trace) <= 5
+
+    def test_marginal_gains_positive(self, small_dataset):
+        accs = {s: small_dataset.true_accuracies[s] for s in small_dataset.sources}
+        trace = greedy_select(small_dataset, accs, budget=4)
+        assert all(step.marginal_gain > 0 for step in trace)
+
+    def test_utilities_monotone(self, small_dataset):
+        accs = {s: small_dataset.true_accuracies[s] for s in small_dataset.sources}
+        trace = greedy_select(small_dataset, accs, budget=6)
+        utilities = [step.utility for step in trace]
+        assert utilities == sorted(utilities)
+
+    def test_invalid_budget(self, small_dataset):
+        with pytest.raises(DatasetError):
+            greedy_select(small_dataset, {}, budget=0)
+
+    def test_selected_sources_distinct(self, small_dataset):
+        accs = {s: small_dataset.true_accuracies[s] for s in small_dataset.sources}
+        trace = greedy_select(small_dataset, accs, budget=8)
+        chosen = [step.source for step in trace]
+        assert len(chosen) == len(set(chosen))
+
+
+class TestEvaluateSelection:
+    def test_good_selection_beats_bad(self, small_dataset):
+        accs = {s: small_dataset.true_accuracies[s] for s in small_dataset.sources}
+        ordered = sorted(accs, key=accs.get)
+        worst = ordered[:20]
+        best = ordered[-20:]
+        factory = lambda: SLiMFast(learner="em", use_features=False)
+        acc_best = evaluate_selection(small_dataset, best, factory, seed=0)
+        acc_worst = evaluate_selection(small_dataset, worst, factory, seed=0)
+        assert acc_best > acc_worst

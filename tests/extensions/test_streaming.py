@@ -1,0 +1,104 @@
+"""Tests for streaming fusion."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import StreamingFuser, replay_dataset
+from repro.fusion import FusionDataset, Observation, object_value_accuracy
+
+
+class TestStreamingFuserBasics:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StreamingFuser(decay=0.0)
+        with pytest.raises(ValueError):
+            StreamingFuser(prior_correct=2.0, prior_total=2.0)
+
+    def test_single_observation(self):
+        fuser = StreamingFuser()
+        fuser.observe(Observation("s", "o", "v"))
+        assert fuser.current_value("o") == "v"
+        assert fuser.n_processed == 1
+
+    def test_unseen_object_none(self):
+        assert StreamingFuser().current_value("ghost") is None
+
+    def test_truth_feedback_updates_source(self):
+        fuser = StreamingFuser(self_training=False)
+        fuser.reveal_truth("o1", "right")
+        fuser.observe(Observation("good", "o1", "right"))
+        fuser.observe(Observation("bad", "o1", "wrong"))
+        accs = fuser.source_accuracies()
+        assert accs["good"] > accs["bad"]
+
+    def test_retrospective_credit(self):
+        """Truth revealed after the claims still credits the sources."""
+        fuser = StreamingFuser(self_training=False)
+        fuser.observe(Observation("good", "o1", "right"))
+        fuser.observe(Observation("bad", "o1", "wrong"))
+        before = fuser.source_accuracies()
+        assert before["good"] == pytest.approx(before["bad"])
+        fuser.reveal_truth("o1", "right")
+        after = fuser.source_accuracies()
+        assert after["good"] > after["bad"]
+
+    def test_truth_clamps_posterior(self):
+        fuser = StreamingFuser()
+        fuser.reveal_truth("o", "a")
+        fuser.observe(Observation("s1", "o", "b"))
+        fuser.observe(Observation("s2", "o", "b"))
+        assert fuser.current_value("o") == "a"
+
+    def test_decay_shrinks_history(self):
+        fuser = StreamingFuser(decay=0.5, self_training=False)
+        fuser.reveal_truth("o1", "v")
+        for i in range(10):
+            fuser.observe(Observation("s", f"o1", "v") if i == 0 else Observation("s", f"x{i}", "v"))
+        state = fuser._sources["s"]
+        # decayed totals stay bounded instead of growing linearly
+        assert state.total < 5.0
+
+
+class TestReplayDataset:
+    def test_matches_batch_on_easy_instance(self, small_dataset):
+        split = small_dataset.split(0.5, seed=0)
+        result = replay_dataset(small_dataset, split.train_truth, seed=0)
+        accuracy = object_value_accuracy(
+            result.values, small_dataset.ground_truth, split.test_objects
+        )
+        from repro.baselines import MajorityVote
+
+        majority = MajorityVote().fit_predict(small_dataset, split.train_truth)
+        majority_accuracy = object_value_accuracy(
+            majority.values, small_dataset.ground_truth, split.test_objects
+        )
+        assert accuracy >= majority_accuracy - 0.08
+
+    def test_result_structure(self, small_dataset):
+        result = replay_dataset(small_dataset, {}, seed=1)
+        assert result.method == "streaming"
+        assert result.diagnostics["n_processed"] == small_dataset.n_observations
+        assert set(result.values) == set(small_dataset.objects.items)
+
+    def test_source_accuracies_track_truth(self, small_dataset):
+        """With full truth revealed, streaming estimates approach empirical."""
+        result = replay_dataset(
+            small_dataset, dict(small_dataset.ground_truth), seed=0,
+            self_training=False,
+        )
+        empirical = small_dataset.empirical_accuracies()
+        errors = [
+            abs(result.source_accuracies[s] - empirical[s])
+            for s in empirical
+            if s in result.source_accuracies
+        ]
+        assert float(np.mean(errors)) < 0.12
+
+    def test_order_invariance_is_soft(self, small_dataset):
+        """Different replay orders give similar (not identical) results."""
+        split = small_dataset.split(0.5, seed=0)
+        a = replay_dataset(small_dataset, split.train_truth, seed=0)
+        b = replay_dataset(small_dataset, split.train_truth, seed=99)
+        acc_a = object_value_accuracy(a.values, small_dataset.ground_truth, split.test_objects)
+        acc_b = object_value_accuracy(b.values, small_dataset.ground_truth, split.test_objects)
+        assert abs(acc_a - acc_b) < 0.15

@@ -1,0 +1,86 @@
+"""Tests for the Gibbs sampler."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import FactorGraph, GibbsSampler
+from repro.optim import softmax
+
+
+def indicator(target):
+    return lambda args: 1.0 if args[0] == target else 0.0
+
+
+class TestGibbsSampler:
+    def test_matches_exact_posterior_unary(self):
+        graph = FactorGraph()
+        graph.add_variable("v", ["a", "b"])
+        graph.add_factor(["v"], indicator("a"), weight_id="w", initial_weight=1.2)
+        result = GibbsSampler(n_samples=4000, burn_in=200, seed=0).run(graph)
+        exact = softmax(np.array([1.2, 0.0]))
+        assert result.marginals["v"]["a"] == pytest.approx(exact[0], abs=0.03)
+
+    def test_independent_variables(self):
+        graph = FactorGraph()
+        for i in range(3):
+            graph.add_variable(f"v{i}", ["a", "b"])
+            graph.add_factor([f"v{i}"], indicator("a"), weight_id=f"w{i}", initial_weight=0.5)
+        result = GibbsSampler(n_samples=3000, burn_in=100, seed=1).run(graph)
+        exact = softmax(np.array([0.5, 0.0]))[0]
+        for i in range(3):
+            assert result.marginals[f"v{i}"]["a"] == pytest.approx(exact, abs=0.04)
+
+    def test_pairwise_coupling(self):
+        """Two variables with an agreement factor: exact joint enumeration."""
+        graph = FactorGraph()
+        graph.add_variable("x", ["a", "b"])
+        graph.add_variable("y", ["a", "b"])
+        agree = lambda args: 1.0 if args[0] == args[1] else 0.0
+        graph.add_factor(["x", "y"], agree, weight_id="w", initial_weight=1.0)
+        graph.add_factor(["x"], indicator("a"), weight_id="u", initial_weight=0.8)
+        result = GibbsSampler(n_samples=8000, burn_in=500, seed=2).run(graph)
+
+        # exact marginal of x by enumeration
+        weights = {}
+        for x in ("a", "b"):
+            for y in ("a", "b"):
+                score = (1.0 if x == y else 0.0) * 1.0 + (0.8 if x == "a" else 0.0)
+                weights[(x, y)] = np.exp(score)
+        z = sum(weights.values())
+        exact_x_a = (weights[("a", "a")] + weights[("a", "b")]) / z
+        assert result.marginals["x"]["a"] == pytest.approx(exact_x_a, abs=0.03)
+
+    def test_observed_variables_not_sampled(self):
+        graph = FactorGraph()
+        graph.add_variable("obs", ["a", "b"], observed="b")
+        graph.add_variable("lat", ["a", "b"])
+        result = GibbsSampler(n_samples=50, burn_in=10, seed=3).run(graph)
+        assert "obs" not in result.marginals
+        assert "lat" in result.marginals
+
+    def test_deterministic_per_seed(self):
+        graph = FactorGraph()
+        graph.add_variable("v", ["a", "b"])
+        graph.add_factor(["v"], indicator("a"), weight_id="w", initial_weight=0.3)
+        r1 = GibbsSampler(n_samples=100, burn_in=10, seed=5).run(graph)
+        r2 = GibbsSampler(n_samples=100, burn_in=10, seed=5).run(graph)
+        assert r1.marginals == r2.marginals
+
+    def test_initial_state_respected(self):
+        graph = FactorGraph()
+        graph.add_variable("v", ["a", "b"])
+        result = GibbsSampler(n_samples=1, burn_in=0, seed=6).run(
+            graph, initial_state={"v": "b"}
+        )
+        assert result.n_samples == 1
+
+    def test_map_assignment(self):
+        graph = FactorGraph()
+        graph.add_variable("v", ["a", "b"])
+        graph.add_factor(["v"], indicator("b"), weight_id="w", initial_weight=3.0)
+        result = GibbsSampler(n_samples=500, burn_in=50, seed=7).run(graph)
+        assert result.map_assignment()["v"] == "b"
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            GibbsSampler(n_samples=0)

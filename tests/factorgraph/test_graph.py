@@ -1,0 +1,115 @@
+"""Tests for the factor-graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import Factor, FactorGraph, GraphError, Variable
+
+
+def indicator(target):
+    return lambda args: 1.0 if args[0] == target else 0.0
+
+
+class TestVariable:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(GraphError):
+            Variable(name="v", domain=())
+
+    def test_evidence_outside_domain_rejected(self):
+        with pytest.raises(GraphError):
+            Variable(name="v", domain=("a",), observed="b")
+
+    def test_cardinality(self):
+        assert Variable("v", ("a", "b", "c")).cardinality == 3
+
+
+class TestFactorGraphConstruction:
+    def test_duplicate_variable_rejected(self):
+        graph = FactorGraph()
+        graph.add_variable("v", ["a"])
+        with pytest.raises(GraphError):
+            graph.add_variable("v", ["b"])
+
+    def test_factor_over_unknown_variable_rejected(self):
+        graph = FactorGraph()
+        with pytest.raises(GraphError):
+            graph.add_factor(["ghost"], indicator("a"), weight_id="w")
+
+    def test_empty_factor_rejected(self):
+        graph = FactorGraph()
+        with pytest.raises(GraphError):
+            Factor(variables=(), feature=indicator("a"), weight_id="w")
+
+    def test_tied_weights_share_entry(self):
+        graph = FactorGraph()
+        graph.add_variable("v1", ["a", "b"])
+        graph.add_variable("v2", ["a", "b"])
+        graph.add_factor(["v1"], indicator("a"), weight_id="shared")
+        graph.add_factor(["v2"], indicator("a"), weight_id="shared")
+        assert len(graph.weights) == 1
+
+    def test_initial_weight_kept_for_existing_id(self):
+        graph = FactorGraph()
+        graph.add_variable("v", ["a"])
+        graph.add_factor(["v"], indicator("a"), weight_id="w", initial_weight=2.0)
+        graph.add_factor(["v"], indicator("a"), weight_id="w", initial_weight=9.0)
+        assert graph.weights["w"] == 2.0
+
+    def test_factors_of(self):
+        graph = FactorGraph()
+        graph.add_variable("v1", ["a"])
+        graph.add_variable("v2", ["a"])
+        graph.add_factor(["v1"], indicator("a"), weight_id="w1")
+        graph.add_factor(["v1", "v2"], lambda args: 1.0, weight_id="w2")
+        assert len(graph.factors_of("v1")) == 2
+        assert len(graph.factors_of("v2")) == 1
+
+    def test_latent_variables(self):
+        graph = FactorGraph()
+        graph.add_variable("obs", ["a"], observed="a")
+        graph.add_variable("lat", ["a", "b"])
+        assert [v.name for v in graph.latent_variables()] == ["lat"]
+
+
+class TestScoring:
+    def test_local_scores_unary(self):
+        graph = FactorGraph()
+        graph.add_variable("v", ["a", "b"])
+        graph.add_factor(["v"], indicator("a"), weight_id="w", initial_weight=1.5)
+        scores = graph.local_scores("v", {})
+        assert scores[0] == pytest.approx(1.5)
+        assert scores[1] == pytest.approx(0.0)
+
+    def test_local_scores_pairwise_uses_assignment(self):
+        graph = FactorGraph()
+        graph.add_variable("v1", ["a", "b"])
+        graph.add_variable("v2", ["a", "b"])
+        agree = lambda args: 1.0 if args[0] == args[1] else 0.0
+        graph.add_factor(["v1", "v2"], agree, weight_id="w", initial_weight=2.0)
+        scores = graph.local_scores("v1", {"v2": "b"})
+        assert scores[0] == pytest.approx(0.0)  # v1=a disagrees
+        assert scores[1] == pytest.approx(2.0)  # v1=b agrees
+
+    def test_observed_neighbor_resolves_to_evidence(self):
+        graph = FactorGraph()
+        graph.add_variable("v1", ["a", "b"])
+        graph.add_variable("v2", ["a", "b"], observed="a")
+        agree = lambda args: 1.0 if args[0] == args[1] else 0.0
+        graph.add_factor(["v1", "v2"], agree, weight_id="w", initial_weight=3.0)
+        scores = graph.local_scores("v1", {})
+        assert scores[0] == pytest.approx(3.0)
+
+    def test_missing_latent_assignment_raises(self):
+        graph = FactorGraph()
+        graph.add_variable("v1", ["a"])
+        graph.add_variable("v2", ["a", "b"])
+        graph.add_factor(["v1", "v2"], lambda args: 1.0, weight_id="w", initial_weight=1.0)
+        with pytest.raises(GraphError):
+            graph.local_scores("v1", {})
+
+    def test_assignment_log_score(self):
+        graph = FactorGraph()
+        graph.add_variable("v", ["a", "b"])
+        graph.add_factor(["v"], indicator("a"), weight_id="w", initial_weight=0.7)
+        assert graph.assignment_log_score({"v": "a"}) == pytest.approx(0.7)
+        assert graph.assignment_log_score({"v": "b"}) == pytest.approx(0.0)

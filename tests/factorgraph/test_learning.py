@@ -1,0 +1,64 @@
+"""Tests for pseudo-likelihood weight learning on factor graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core import ERMLearner, ERMConfig
+from repro.factorgraph import PseudoLikelihoodLearner, compile_dataset
+from repro.optim import sigmoid
+
+
+class TestPseudoLikelihoodLearner:
+    def test_requires_evidence(self, tiny_dataset):
+        compiled = compile_dataset(tiny_dataset)  # no evidence
+        with pytest.raises(ValueError, match="evidence"):
+            PseudoLikelihoodLearner().fit(compiled.graph)
+
+    def test_learns_source_quality(self, small_dataset):
+        """Fully supervised factor-graph learning must rank sources like ERM."""
+        compiled = compile_dataset(
+            small_dataset, evidence=small_dataset.ground_truth, use_features=False
+        )
+        learner = PseudoLikelihoodLearner(epochs=25, l2=4.0, seed=0)
+        learner.fit(compiled.graph, compiled.learnable_weight_ids())
+
+        fg_acc = {
+            source: float(sigmoid(compiled.graph.weights[("src", source)]))
+            for source in small_dataset.sources
+        }
+        erm = ERMLearner(ERMConfig(use_features=False)).fit(
+            small_dataset, small_dataset.ground_truth
+        )
+        erm_acc = erm.accuracy_map()
+        a = np.array([fg_acc[s] for s in small_dataset.sources])
+        b = np.array([erm_acc[s] for s in small_dataset.sources])
+        assert np.corrcoef(a, b)[0, 1] > 0.8
+
+    def test_objective_decreases(self, tiny_dataset):
+        compiled = compile_dataset(
+            tiny_dataset, evidence=tiny_dataset.ground_truth, use_features=False
+        )
+        few = PseudoLikelihoodLearner(epochs=1, seed=0)
+        graph1 = compile_dataset(
+            tiny_dataset, evidence=tiny_dataset.ground_truth, use_features=False
+        ).graph
+        loss_early = few.fit(graph1, None).final_objective
+
+        many = PseudoLikelihoodLearner(epochs=40, seed=0)
+        loss_late = many.fit(compiled.graph, None).final_objective
+        assert loss_late <= loss_early + 1e-6
+
+    def test_offset_weight_can_be_frozen(self, multi_valued_dataset):
+        split = multi_valued_dataset.split(0.6, seed=0)
+        compiled = compile_dataset(multi_valued_dataset, evidence=split.train_truth)
+        learner = PseudoLikelihoodLearner(epochs=3, seed=0)
+        learner.fit(compiled.graph, compiled.learnable_weight_ids())
+        assert compiled.graph.weights["__offset__"] == 1.0
+
+    def test_result_snapshot(self, tiny_dataset):
+        compiled = compile_dataset(
+            tiny_dataset, evidence=tiny_dataset.ground_truth, use_features=False
+        )
+        result = PseudoLikelihoodLearner(epochs=5).fit(compiled.graph, None)
+        assert result.n_epochs == 5
+        assert set(result.weights) == set(compiled.graph.weights)

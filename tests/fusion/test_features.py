@@ -1,0 +1,143 @@
+"""Unit tests for repro.fusion.features."""
+
+import numpy as np
+import pytest
+
+from repro.fusion import DatasetError, FeatureSpace, FusionDataset, build_design_matrix
+
+
+def _dataset(features):
+    observations = [(f"s{i}", "o", f"v{i}") for i in range(len(features))]
+    return FusionDataset(
+        observations,
+        source_features={f"s{i}": feats for i, feats in enumerate(features)},
+    )
+
+
+class TestNumericFeatures:
+    def test_two_bin_discretization(self):
+        ds = _dataset([{"rank": 1.0}, {"rank": 2.0}, {"rank": 100.0}, {"rank": 200.0}])
+        space = FeatureSpace(n_bins=2)
+        design = space.fit(ds)
+        assert "rank=Low" in space.column_labels
+        assert "rank=High" in space.column_labels
+        low = space.column_labels.index("rank=Low")
+        high = space.column_labels.index("rank=High")
+        assert design[0, low] == 1.0 and design[0, high] == 0.0
+        assert design[3, high] == 1.0
+
+    def test_row_sums_one_per_numeric_feature(self):
+        ds = _dataset([{"x": float(i)} for i in range(10)])
+        design = FeatureSpace(n_bins=3).fit(ds)
+        assert np.all(design.sum(axis=1) == 1.0)
+
+    def test_constant_numeric_collapses_bins(self):
+        ds = _dataset([{"x": 5.0}, {"x": 5.0}])
+        space = FeatureSpace(n_bins=2)
+        design = space.fit(ds)
+        # all quantile edges coincide -> a single bin
+        assert design.shape[1] == 1
+        assert np.all(design == 1.0)
+
+    def test_three_bins_labels(self):
+        ds = _dataset([{"x": float(i)} for i in range(9)])
+        space = FeatureSpace(n_bins=3)
+        space.fit(ds)
+        assert {"x=Low", "x=Mid", "x=High"} <= set(space.column_labels)
+
+    def test_many_bins_use_q_labels(self):
+        ds = _dataset([{"x": float(i)} for i in range(20)])
+        space = FeatureSpace(n_bins=4)
+        space.fit(ds)
+        assert any(label.startswith("x=Q") for label in space.column_labels)
+
+
+class TestCategoricalFeatures:
+    def test_one_hot(self):
+        ds = _dataset([{"channel": "a"}, {"channel": "b"}, {"channel": "a"}])
+        space = FeatureSpace()
+        design = space.fit(ds)
+        assert set(space.column_labels) == {"channel=a", "channel=b"}
+        assert design[0, space.column_labels.index("channel=a")] == 1.0
+        assert design[1, space.column_labels.index("channel=b")] == 1.0
+
+    def test_boolean_treated_as_categorical(self):
+        ds = _dataset([{"flag": True}, {"flag": False}])
+        space = FeatureSpace()
+        space.fit(ds)
+        assert {"flag=True", "flag=False"} == set(space.column_labels)
+
+    def test_mixed_type_column_is_categorical(self):
+        ds = _dataset([{"v": 1}, {"v": "x"}])
+        space = FeatureSpace()
+        space.fit(ds)
+        assert {"v=1", "v=x"} == set(space.column_labels)
+
+
+class TestMissingHandling:
+    def test_source_without_features_gets_zero_row(self):
+        ds = FusionDataset(
+            [("s1", "o", "a"), ("s2", "o", "b")],
+            source_features={"s1": {"x": 1.0}},
+        )
+        design = FeatureSpace().fit(ds)
+        assert np.all(design[ds.sources.index("s2")] == 0.0)
+
+    def test_include_missing_column(self):
+        ds = FusionDataset(
+            [("s1", "o", "a"), ("s2", "o", "b")],
+            source_features={"s1": {"x": 1.0}, "s2": {}},
+        )
+        space = FeatureSpace(include_missing=True)
+        design = space.fit(ds)
+        col = space.column_labels.index("x=<missing>")
+        assert design[ds.sources.index("s2"), col] == 1.0
+        assert design[ds.sources.index("s1"), col] == 0.0
+
+
+class TestEncode:
+    def test_encode_new_source(self):
+        ds = _dataset([{"x": 1.0, "c": "a"}, {"x": 10.0, "c": "b"}])
+        space = FeatureSpace()
+        space.fit(ds)
+        row = space.encode({"x": 0.5, "c": "b"})
+        assert row[space.column_labels.index("x=Low")] == 1.0
+        assert row[space.column_labels.index("c=b")] == 1.0
+
+    def test_unknown_categorical_value_ignored(self):
+        ds = _dataset([{"c": "a"}])
+        space = FeatureSpace()
+        space.fit(ds)
+        row = space.encode({"c": "unseen"})
+        assert np.all(row == 0.0)
+
+    def test_encode_before_fit_rejected(self):
+        with pytest.raises(DatasetError):
+            FeatureSpace().encode({"x": 1.0})
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(DatasetError):
+            FeatureSpace(n_bins=1)
+
+
+class TestBuildDesignMatrix:
+    def test_use_features_false_gives_zero_columns(self, tiny_dataset):
+        design, space = build_design_matrix(tiny_dataset, use_features=False)
+        assert design.shape == (3, 0)
+        assert space.n_columns == 0
+
+    def test_design_alignment(self, tiny_dataset):
+        design, space = build_design_matrix(tiny_dataset)
+        assert design.shape[0] == tiny_dataset.n_sources
+        assert design.shape[1] == space.n_columns
+
+    def test_columns_for(self, tiny_dataset):
+        design, space = build_design_matrix(tiny_dataset)
+        columns = space.columns_for("citations")
+        assert columns
+        assert all(label.startswith("citations=") for _, label in columns)
+
+    def test_dataset_without_features(self):
+        ds = FusionDataset([("s", "o", "v")])
+        design, space = build_design_matrix(ds)
+        assert design.shape == (1, 0)

@@ -1,0 +1,31 @@
+"""Unit tests for repro.fusion.result."""
+
+import pytest
+
+from repro.fusion import FusionResult
+
+
+class TestFusionResult:
+    def test_accuracy_against_dataset(self, tiny_dataset):
+        result = FusionResult(values={"gigyf2": "false", "gba": "true"})
+        assert result.accuracy(tiny_dataset) == 1.0
+
+    def test_accuracy_population(self, tiny_dataset):
+        result = FusionResult(values={"gigyf2": "true", "gba": "true"})
+        assert result.accuracy(tiny_dataset, ["gba"]) == 1.0
+        assert result.accuracy(tiny_dataset, ["gigyf2"]) == 0.0
+
+    def test_source_error_requires_accuracies(self, tiny_dataset):
+        result = FusionResult(values={})
+        with pytest.raises(ValueError, match="does not estimate"):
+            result.source_error(tiny_dataset)
+
+    def test_source_error_computed(self, tiny_dataset):
+        result = FusionResult(
+            values={},
+            source_accuracies=tiny_dataset.empirical_accuracies(),
+        )
+        assert result.source_error(tiny_dataset) == pytest.approx(0.0)
+
+    def test_diagnostics_default_empty(self):
+        assert FusionResult(values={}).diagnostics == {}

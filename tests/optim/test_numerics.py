@@ -1,0 +1,125 @@
+"""Unit and property tests for repro.optim.numerics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.optim import (
+    log_sigmoid,
+    log_softmax,
+    logit,
+    sigmoid,
+    soft_threshold,
+    softmax,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_extremes_finite(self):
+        assert 0.0 < sigmoid(-1e9) < 1e-9
+        assert 1.0 - 1e-9 < sigmoid(1e9) < 1.0
+
+    @given(finite_floats)
+    def test_property_bounds(self, z):
+        assert 0.0 < sigmoid(z) < 1.0
+
+    @given(finite_floats)
+    def test_property_symmetry(self, z):
+        assert sigmoid(z) + sigmoid(-z) == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.floats(min_value=-20, max_value=20))
+    def test_property_logit_inverse(self, z):
+        assert logit(sigmoid(z)) == pytest.approx(z, abs=1e-5)
+
+    def test_vectorized(self):
+        z = np.array([-1.0, 0.0, 1.0])
+        out = sigmoid(z)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestLogSigmoid:
+    @given(st.floats(min_value=-25, max_value=25))
+    def test_property_matches_log_of_sigmoid(self, z):
+        assert log_sigmoid(z) == pytest.approx(np.log(sigmoid(z)), abs=1e-7)
+
+    def test_no_overflow(self):
+        assert np.isfinite(log_sigmoid(-1e8))
+
+
+class TestLogit:
+    def test_clamps_extremes(self):
+        assert np.isfinite(logit(0.0))
+        assert np.isfinite(logit(1.0))
+
+    def test_midpoint(self):
+        assert logit(0.5) == pytest.approx(0.0)
+
+
+class TestSoftmax:
+    def test_normalizes(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_shift_invariance(self):
+        scores = np.array([0.5, -1.0, 2.0])
+        assert np.allclose(softmax(scores), softmax(scores + 100.0))
+
+    def test_huge_scores_stable(self):
+        probs = softmax(np.array([1e9, 0.0]))
+        assert probs[0] == pytest.approx(1.0)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=6),
+            elements=st.floats(min_value=-50, max_value=50),
+        )
+    )
+    def test_property_distribution(self, scores):
+        probs = softmax(scores)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(probs >= 0.0)
+
+    def test_log_softmax_consistent(self):
+        scores = np.array([0.2, 1.4, -0.7])
+        assert np.allclose(np.exp(log_softmax(scores)), softmax(scores))
+
+    def test_batched_last_axis(self):
+        scores = np.arange(6.0).reshape(2, 3)
+        probs = softmax(scores)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        x = np.array([-3.0, -0.5, 0.5, 3.0])
+        out = soft_threshold(x, 1.0)
+        assert np.allclose(out, [-2.0, 0.0, 0.0, 2.0])
+
+    def test_zero_threshold_identity(self):
+        x = np.array([1.0, -2.0])
+        assert np.allclose(soft_threshold(x, 0.0), x)
+
+    @given(
+        hnp.arrays(np.float64, 5, elements=st.floats(min_value=-10, max_value=10)),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_property_never_flips_sign(self, x, threshold):
+        out = soft_threshold(x, threshold)
+        assert np.all(out * x >= 0.0)
+
+    @given(
+        hnp.arrays(np.float64, 5, elements=st.floats(min_value=-10, max_value=10)),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_property_magnitude_reduced(self, x, threshold):
+        out = soft_threshold(x, threshold)
+        assert np.all(np.abs(out) <= np.abs(x) + 1e-12)

@@ -1,0 +1,206 @@
+"""Gradient and behaviour tests for the training objectives."""
+
+import numpy as np
+import pytest
+
+from repro.optim import ConditionalObjective, CorrectnessObjective, ParameterLayout
+
+
+def finite_difference_grad(objective, w, eps=1e-6):
+    grad = np.zeros_like(w)
+    for i in range(w.shape[0]):
+        up = w.copy()
+        up[i] += eps
+        down = w.copy()
+        down[i] -= eps
+        grad[i] = (objective.value(up) - objective.value(down)) / (2 * eps)
+    return grad
+
+
+def make_correctness(n_sources=4, n_features=3, n_samples=30, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    design = (rng.random((n_sources, n_features)) < 0.5).astype(float)
+    source_idx = rng.integers(n_sources, size=n_samples)
+    labels = (rng.random(n_samples) < 0.7).astype(float)
+    return CorrectnessObjective(source_idx, labels, design, **kwargs)
+
+
+def make_conditional(seed=0, n_extra=0, with_base=False, **kwargs):
+    rng = np.random.default_rng(seed)
+    n_sources, n_features = 5, 2
+    design = (rng.random((n_sources, n_features)) < 0.5).astype(float)
+    # 3 objects: domains of size 2, 3, 2 -> 7 flattened rows
+    pair_object_idx = np.array([0, 0, 1, 1, 1, 2, 2])
+    label_pair_idx = np.array([0, 3, 5])
+    obs_source_idx = np.array([0, 1, 2, 3, 4, 0, 2, 3])
+    obs_pair_idx = np.array([0, 1, 2, 3, 4, 5, 6, 5])
+    extra = None
+    if n_extra:
+        extra = (
+            np.array([0, 2, 5]),
+            np.array([0, 1 % n_extra, 0]),
+            np.array([-1.0, -1.0, 1.0]),
+        )
+    base = rng.normal(size=7) if with_base else None
+    return ConditionalObjective(
+        design=design,
+        obs_source_idx=obs_source_idx,
+        obs_pair_idx=obs_pair_idx,
+        pair_object_idx=pair_object_idx,
+        label_pair_idx=label_pair_idx,
+        n_extra=n_extra,
+        extra=extra,
+        base_scores=base,
+        **kwargs,
+    )
+
+
+class TestParameterLayout:
+    def test_split(self):
+        layout = ParameterLayout(n_sources=2, n_features=3, n_extra=1, intercept=True)
+        w = np.arange(7.0)
+        w_src, w_feat, w_extra, bias = layout.split(w)
+        assert list(w_src) == [0.0, 1.0]
+        assert list(w_feat) == [2.0, 3.0, 4.0]
+        assert list(w_extra) == [5.0]
+        assert bias == 6.0
+
+    def test_n_params(self):
+        layout = ParameterLayout(n_sources=2, n_features=3)
+        assert layout.n_params == 5
+
+    def test_l2_vector_skips_intercept(self):
+        layout = ParameterLayout(n_sources=1, n_features=1, intercept=True)
+        l2 = layout.l2_vector(2.0, 3.0)
+        assert list(l2) == [2.0, 3.0, 0.0]
+
+    def test_l1_mask_defaults_to_features(self):
+        layout = ParameterLayout(n_sources=2, n_features=2, n_extra=1, intercept=True)
+        mask = layout.l1_mask()
+        assert list(mask) == [False, False, True, True, False, False]
+
+
+class TestCorrectnessObjective:
+    def test_gradient_matches_finite_difference(self):
+        objective = make_correctness(l2_sources=0.5, l2_features=0.2)
+        rng = np.random.default_rng(1)
+        w = rng.normal(scale=0.5, size=objective.n_params)
+        _, grad = objective.value_and_grad(w)
+        assert np.allclose(grad, finite_difference_grad(objective, w), atol=1e-5)
+
+    def test_gradient_with_intercept(self):
+        objective = make_correctness(intercept=True, l2_sources=1.0)
+        w = np.random.default_rng(2).normal(size=objective.n_params)
+        _, grad = objective.value_and_grad(w)
+        assert np.allclose(grad, finite_difference_grad(objective, w), atol=1e-5)
+
+    def test_gradient_with_soft_labels(self):
+        rng = np.random.default_rng(3)
+        design = np.zeros((3, 0))
+        objective = CorrectnessObjective(
+            source_idx=rng.integers(3, size=20),
+            labels=rng.random(20),
+            design=design,
+            l2_sources=0.3,
+        )
+        w = rng.normal(size=3)
+        _, grad = objective.value_and_grad(w)
+        assert np.allclose(grad, finite_difference_grad(objective, w), atol=1e-5)
+
+    def test_gradient_with_sample_weights(self):
+        rng = np.random.default_rng(4)
+        objective = make_correctness(seed=4)
+        weighted = CorrectnessObjective(
+            objective.source_idx,
+            objective.labels,
+            objective.design,
+            sample_weights=rng.random(objective.n_samples) + 0.1,
+        )
+        w = rng.normal(size=weighted.n_params)
+        _, grad = weighted.value_and_grad(w)
+        assert np.allclose(grad, finite_difference_grad(weighted, w), atol=1e-5)
+
+    def test_zero_weights_minimize_at_base_rate(self):
+        # without regularization the optimum per source is its label mean
+        objective = make_correctness(n_features=0)
+        w = np.zeros(objective.n_params)
+        value0 = objective.value(w)
+        assert np.isfinite(value0)
+
+    def test_value_at_perfect_fit_is_small(self):
+        design = np.zeros((2, 0))
+        objective = CorrectnessObjective(
+            source_idx=np.array([0, 0, 1, 1]),
+            labels=np.array([1.0, 1.0, 0.0, 0.0]),
+            design=design,
+        )
+        w = np.array([20.0, -20.0])
+        assert objective.value(w) < 1e-6
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError, match=r"labels must lie in \[0, 1\]"):
+            CorrectnessObjective(
+                source_idx=np.array([0]),
+                labels=np.array([1.5]),
+                design=np.zeros((1, 0)),
+            )
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            CorrectnessObjective(
+                source_idx=np.array([0, 1]),
+                labels=np.array([1.0]),
+                design=np.zeros((2, 0)),
+            )
+
+    def test_batch_grad_full_batch_matches_grad(self):
+        objective = make_correctness(l2_sources=0.2)
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=objective.n_params)
+        full = objective.grad(w)
+        batch = objective.batch_grad(w, np.arange(objective.n_samples))
+        assert np.allclose(full, batch, atol=1e-9)
+
+
+class TestConditionalObjective:
+    def test_gradient_matches_finite_difference(self):
+        objective = make_conditional(l2_sources=0.4, l2_features=0.1)
+        rng = np.random.default_rng(6)
+        w = rng.normal(scale=0.5, size=objective.n_params)
+        _, grad = objective.value_and_grad(w)
+        assert np.allclose(grad, finite_difference_grad(objective, w), atol=1e-5)
+
+    def test_gradient_with_extras(self):
+        objective = make_conditional(n_extra=2, l2_extra=0.3)
+        rng = np.random.default_rng(7)
+        w = rng.normal(scale=0.5, size=objective.n_params)
+        _, grad = objective.value_and_grad(w)
+        assert np.allclose(grad, finite_difference_grad(objective, w), atol=1e-5)
+
+    def test_gradient_with_base_scores(self):
+        objective = make_conditional(with_base=True)
+        rng = np.random.default_rng(8)
+        w = rng.normal(scale=0.5, size=objective.n_params)
+        _, grad = objective.value_and_grad(w)
+        assert np.allclose(grad, finite_difference_grad(objective, w), atol=1e-5)
+
+    def test_unlabeled_objects_excluded(self):
+        objective = make_conditional()
+        # mark object 1 unlabeled: weight should drop from the loss
+        objective_missing = make_conditional()
+        objective_missing.label_pair_idx = objective.label_pair_idx.copy()
+        objective_missing.label_pair_idx[1] = -1
+        objective_missing.object_weights = np.where(
+            objective_missing.label_pair_idx >= 0, 1.0, 0.0
+        )
+        w = np.zeros(objective.n_params)
+        assert objective_missing.value(w) != pytest.approx(objective.value(w))
+
+    def test_posteriors_normalize_per_object(self):
+        objective = make_conditional()
+        w = np.random.default_rng(9).normal(size=objective.n_params)
+        log_post = objective.pair_log_posteriors(w)
+        probs = np.exp(log_post)
+        for obj in range(3):
+            mask = objective.pair_object_idx == obj
+            assert probs[mask].sum() == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.__main__ import main
+from repro.data import save_dataset
+
+
+class TestStats:
+    def test_prints_table1(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "# Sources" in out
+        assert "2750" in out  # genomics source count
+
+
+class TestDemo:
+    def test_runs_on_crowd(self, capsys):
+        assert main(["demo", "--dataset", "crowd", "--train-fraction", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert "learner chosen" in out
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--dataset", "nope"])
+
+
+class TestFuse:
+    def test_fuses_csv_directory(self, tmp_path, tiny_dataset, capsys):
+        input_dir = tmp_path / "in"
+        output_dir = tmp_path / "out"
+        save_dataset(tiny_dataset, input_dir)
+        assert main(["fuse", str(input_dir), str(output_dir), "--use-truth"]) == 0
+
+        with open(output_dir / "fused_values.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["object"] for row in rows} == {"gigyf2", "gba"}
+
+        with open(output_dir / "source_accuracies.csv", newline="") as handle:
+            accs = list(csv.DictReader(handle))
+        assert {row["source"] for row in accs} == {"a1", "a2", "a3"}
+
+    def test_unsupervised_fuse(self, tmp_path, tiny_dataset):
+        input_dir = tmp_path / "in"
+        save_dataset(tiny_dataset, input_dir)
+        assert main(["fuse", str(input_dir), str(tmp_path / "out"), "--learner", "em"]) == 0

@@ -1,0 +1,154 @@
+"""End-to-end integration tests across the whole library."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accu,
+    Counts,
+    FusionDataset,
+    MajorityVote,
+    SLiMFast,
+)
+from repro.core import CopyingSLiMFast, lasso_path
+from repro.data import (
+    SyntheticConfig,
+    generate,
+    generate_genomics,
+    generate_stocks,
+    load_dataset,
+    save_dataset,
+)
+from repro.experiments import run_method
+
+
+class TestPaperHeadlines:
+    """The paper's headline claims, verified end-to-end at reduced scale."""
+
+    def test_features_unlock_sparse_datasets(self):
+        """Genomics-like sparsity: SLiMFast with features must clearly beat
+        the feature-less variants and Counts (paper Table 2, Genomics)."""
+        ds = generate_genomics(n_sources=800, n_objects=200, seed=1)
+        split = ds.split(0.1, seed=0)
+        slimfast = SLiMFast(learner="em").fit_predict(ds, split.train_truth)
+        sources_only = SLiMFast(learner="em", use_features=False).fit_predict(
+            ds, split.train_truth
+        )
+        counts = Counts().fit_predict(ds, split.train_truth)
+        test = list(split.test_objects)
+        assert slimfast.accuracy(ds, test) > sources_only.accuracy(ds, test) + 0.03
+        assert slimfast.accuracy(ds, test) > counts.accuracy(ds, test) + 0.03
+
+    def test_small_ground_truth_high_accuracy(self):
+        """Paper: ~1% of labels can already give > 0.9 accuracy."""
+        ds = generate_stocks(seed=2)
+        split = ds.split(0.01, seed=0)
+        result = SLiMFast().fit_predict(ds, split.train_truth)
+        assert result.accuracy(ds, list(split.test_objects)) > 0.9
+
+    def test_source_accuracy_error_low(self):
+        """Paper Table 3: SLiMFast's weighted accuracy error < 0.1."""
+        ds = generate_stocks(seed=3)
+        split = ds.split(0.05, seed=0)
+        result = SLiMFast().fit_predict(ds, split.train_truth)
+        assert result.source_error(ds) < 0.1
+
+    def test_optimizer_picks_winner_on_extremes(self):
+        """Plenty of labels -> ERM; no labels -> EM."""
+        ds = generate(
+            SyntheticConfig(n_sources=80, n_objects=150, density=0.1, seed=5)
+        ).dataset
+        rich = SLiMFast(learner="auto")
+        rich.fit(ds, ds.ground_truth)
+        assert rich.chosen_learner_ == "erm"
+        poor = SLiMFast(learner="auto")
+        poor.fit(ds, {})
+        assert poor.chosen_learner_ == "em"
+
+
+class TestCrossModuleFlows:
+    def test_save_load_fuse(self, tmp_path, small_dataset):
+        save_dataset(small_dataset, tmp_path)
+        loaded = load_dataset(tmp_path, name="reloaded")
+        split = loaded.split(0.2, seed=0)
+        result = SLiMFast(learner="erm").fit_predict(loaded, split.train_truth)
+        assert result.accuracy(loaded, list(split.test_objects)) > 0.5
+
+    def test_harness_matches_direct_call(self, small_dataset):
+        harness = run_method(small_dataset, "slimfast-erm", 0.2, seed=0)
+        split = small_dataset.split(0.2, seed=0)
+        direct = SLiMFast(learner="erm").fit_predict(small_dataset, split.train_truth)
+        assert harness.object_accuracy == pytest.approx(
+            direct.accuracy(small_dataset, list(split.test_objects))
+        )
+
+    def test_lasso_then_refit_on_selected_features(self, small_synthetic):
+        """Feature selection via lasso, then a dense refit — a realistic
+        analyst workflow over the public API."""
+        ds = small_synthetic.dataset
+        path = lasso_path(ds, n_penalties=10)
+        selected = path.important_features(top=4)
+        assert selected
+        result = SLiMFast(learner="erm").fit_predict(ds, ds.split(0.3, 0).train_truth)
+        assert result.source_accuracies is not None
+
+    def test_copying_pipeline_on_copy_heavy_data(self):
+        instance = generate(
+            SyntheticConfig(
+                n_sources=50,
+                n_objects=120,
+                density=0.15,
+                avg_accuracy=0.62,
+                copy_groups=4,
+                copy_group_size=5,
+                copy_fidelity=0.95,
+                seed=6,
+            )
+        )
+        ds = instance.dataset
+        split = ds.split(0.15, seed=0)
+        copying = CopyingSLiMFast(em_rounds=2, z_threshold=2.0).fit(ds, split.train_truth)
+        with_copy = copying.predict().accuracy(ds, list(split.test_objects))
+        plain = (
+            SLiMFast(learner="erm", use_features=False)
+            .fit_predict(ds, split.train_truth)
+            .accuracy(ds, list(split.test_objects))
+        )
+        # copying features must not hurt, and usually help
+        assert with_copy >= plain - 0.05
+
+
+class TestRobustness:
+    def test_single_source_dataset(self):
+        ds = FusionDataset(
+            [("solo", f"o{i}", "v") for i in range(5)],
+            ground_truth={f"o{i}": "v" for i in range(5)},
+        )
+        result = SLiMFast(learner="erm").fit_predict(ds, {"o0": "v"})
+        assert result.values["o1"] == "v"
+
+    def test_object_with_single_claim(self):
+        ds = FusionDataset(
+            [("s1", "lonely", "x"), ("s1", "o", "a"), ("s2", "o", "b")],
+            ground_truth={"lonely": "x", "o": "a"},
+        )
+        result = SLiMFast(learner="em").fit_predict(ds, {})
+        assert result.values["lonely"] == "x"
+
+    def test_all_sources_agree(self):
+        ds = FusionDataset(
+            [(f"s{i}", "o", "same") for i in range(5)], ground_truth={"o": "same"}
+        )
+        result = SLiMFast(learner="em").fit_predict(ds, {})
+        assert result.values["o"] == "same"
+
+    def test_conflicting_unanimous_pairs(self):
+        """Two sources, total disagreement, no labels: must not crash and
+        must produce a valid distribution."""
+        ds = FusionDataset(
+            [("s1", f"o{i}", "a") for i in range(4)]
+            + [("s2", f"o{i}", "b") for i in range(4)]
+        )
+        result = SLiMFast(learner="em").fit_predict(ds, {})
+        for dist in result.posteriors.values():
+            assert sum(dist.values()) == pytest.approx(1.0)

@@ -1,0 +1,144 @@
+"""Failure-injection and pathological-input robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro import Accu, Counts, FusionDataset, MajorityVote, SLiMFast
+from repro.core import estimate_average_accuracy
+from repro.fusion import DatasetError, Observation
+
+
+class TestPathologicalDatasets:
+    def test_adversarial_majority(self):
+        """Most sources systematically wrong: supervised SLiMFast must
+        recover the truth by learning negative trust."""
+        observations = []
+        truth = {}
+        for i in range(30):
+            truth[f"o{i}"] = "right"
+            observations.append(("honest", f"o{i}", "right"))
+            for j in range(3):
+                observations.append((f"liar{j}", f"o{i}", "wrong"))
+        ds = FusionDataset(observations, ground_truth=truth)
+        split = ds.split(0.5, seed=0)
+        result = SLiMFast(learner="erm", use_features=False).fit_predict(
+            ds, split.train_truth
+        )
+        assert result.accuracy(ds, list(split.test_objects)) > 0.9
+        # ridge shrinkage (~4 pseudo-observations) keeps the estimates off
+        # the extremes, but the ordering must be stark
+        assert result.source_accuracies["honest"] > 0.7
+        assert result.source_accuracies["liar0"] < 0.3
+
+    def test_huge_domain_object(self):
+        """An object where every source claims a distinct value."""
+        observations = [(f"s{i}", "chaos", f"v{i}") for i in range(25)]
+        observations += [("s0", "anchor", "x"), ("s1", "anchor", "x")]
+        ds = FusionDataset(
+            observations, ground_truth={"chaos": "v0", "anchor": "x"}
+        )
+        result = SLiMFast(learner="em").fit_predict(ds, {})
+        assert result.values["chaos"] in {f"v{i}" for i in range(25)}
+        dist = result.posteriors["chaos"]
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_unicode_and_mixed_type_identifiers(self):
+        observations = [
+            ("πηγή-1", ("gene", 42), "ναι"),
+            ("πηγή-2", ("gene", 42), "όχι"),
+            (7, "obj-int-source", 3.14),
+        ]
+        ds = FusionDataset(
+            observations, ground_truth={("gene", 42): "ναι", "obj-int-source": 3.14}
+        )
+        result = SLiMFast(learner="erm").fit_predict(ds, ds.ground_truth)
+        assert result.values[("gene", 42)] == "ναι"
+
+    def test_degenerate_single_observation_dataset(self):
+        ds = FusionDataset([("s", "o", "v")], ground_truth={"o": "v"})
+        for method in (MajorityVote(), Counts(), Accu()):
+            result = method.fit_predict(ds, {})
+            assert result.values["o"] == "v"
+
+    def test_all_unanimous_dataset_em(self):
+        observations = [
+            (f"s{i}", f"o{j}", "same") for i in range(4) for j in range(10)
+        ]
+        ds = FusionDataset(observations, ground_truth={f"o{j}": "same" for j in range(10)})
+        result = SLiMFast(learner="em").fit_predict(ds, {})
+        assert all(v == "same" for v in result.values.values())
+
+    def test_extremely_skewed_source_sizes(self):
+        """One source with hundreds of claims next to singletons."""
+        observations = [("whale", f"o{i}", "t") for i in range(200)]
+        observations += [(f"minnow{i}", f"o{i}", "f") for i in range(30)]
+        ds = FusionDataset(
+            observations, ground_truth={f"o{i}": "t" for i in range(200)}
+        )
+        split = ds.split(0.1, seed=0)
+        result = SLiMFast(learner="erm", use_features=False).fit_predict(
+            ds, split.train_truth
+        )
+        assert result.accuracy(ds, list(split.test_objects)) > 0.85
+
+    def test_agreement_estimation_on_disjoint_sources(self):
+        """Sources that never overlap: estimator falls back gracefully."""
+        observations = [(f"s{i}", f"o{i}", "v") for i in range(20)]
+        ds = FusionDataset(observations)
+        estimate = estimate_average_accuracy(ds, fallback=0.7)
+        assert estimate == 0.7
+
+    def test_feature_only_sources_without_observations_ignored(self):
+        """Features for sources that never observe anything are harmless."""
+        ds = FusionDataset(
+            [("s1", "o", "a"), ("s2", "o", "b")],
+            ground_truth={"o": "a"},
+            source_features={"s1": {"x": 1}, "ghost": {"x": 99}},
+        )
+        result = SLiMFast(learner="erm").fit_predict(ds, ds.ground_truth)
+        assert "ghost" not in result.source_accuracies
+
+    def test_truth_value_never_claimed(self):
+        """Ground truth outside every claimed domain must not crash ERM."""
+        ds = FusionDataset(
+            [("s1", "o1", "a"), ("s2", "o1", "b"), ("s1", "o2", "x")],
+            ground_truth={"o1": "never-claimed", "o2": "x"},
+        )
+        result = SLiMFast(learner="erm").fit_predict(ds, ds.ground_truth)
+        # the clamped training label is reported verbatim
+        assert result.values["o1"] == "never-claimed"
+
+    def test_zero_training_fraction_auto(self):
+        ds = FusionDataset(
+            [("s1", "o1", "a"), ("s2", "o1", "b"), ("s1", "o2", "x"), ("s2", "o2", "x")],
+            ground_truth={"o1": "a", "o2": "x"},
+        )
+        fuser = SLiMFast(learner="auto")
+        result = fuser.fit_predict(ds, {})
+        assert fuser.chosen_learner_ == "em"
+        assert set(result.values) == {"o1", "o2"}
+
+
+class TestNumericalStability:
+    def test_extreme_weights_finite_posteriors(self):
+        from repro.core.model import AccuracyModel
+        from repro.core.inference import posteriors
+
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b")])
+        model = AccuracyModel(
+            w_sources=np.array([500.0, -500.0]),
+            w_features=np.zeros(0),
+            design=np.zeros((2, 0)),
+            source_ids=ds.sources.items,
+        )
+        dist = posteriors(ds, model)["o"]
+        assert np.isfinite(list(dist.values())).all()
+        assert dist["a"] > 0.999
+
+    def test_many_values_softmax_stable(self):
+        observations = [(f"s{i}", "o", f"v{i % 40}") for i in range(200)]
+        ds = FusionDataset(
+            [(s, o, v) for (s, o, v) in observations if True][:40]
+        )
+        result = MajorityVote().fit_predict(ds)
+        assert sum(result.posteriors["o"].values()) == pytest.approx(1.0)
