@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core import EMConfig, EMLearner, build_pair_structure
-from repro.core.inference import map_assignment, pair_scores
+from repro.core.inference import pair_scores
 from repro.experiments import format_table
 from repro.fusion import object_value_accuracy
 from repro.optim.objectives import segment_softmax

@@ -7,7 +7,6 @@ the exact per-object softmax.  The two must agree on MAP assignments
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core import ERMLearner, map_assignment, posteriors

@@ -8,7 +8,6 @@ they should land on similar accuracies, with the correctness objective
 cheaper per iteration.
 """
 
-import pytest
 
 from repro.core import ERMConfig, ERMLearner
 from repro.core.inference import map_assignment, posteriors

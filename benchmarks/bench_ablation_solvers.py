@@ -6,7 +6,6 @@ models (accuracy within a point) so the solver choice is an engineering
 detail, not a modeling one.
 """
 
-import pytest
 
 from repro.core import ERMConfig, ERMLearner
 from repro.core.inference import map_assignment, posteriors

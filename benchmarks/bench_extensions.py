@@ -6,9 +6,6 @@ data-acquisition motivation in the introduction) rather than specific
 tables; the assertions pin the qualitative behaviour a user relies on.
 """
 
-import numpy as np
-import pytest
-
 from repro.core import SLiMFast
 from repro.experiments import format_table
 from repro.extensions import (
@@ -105,7 +102,9 @@ def test_extension_source_selection(benchmark, paper_datasets):
         trace = greedy_select(dataset, accuracies, budget=8)
         chosen = [step.source for step in trace]
         worst = sorted(accuracies, key=accuracies.get)[: len(chosen)]
-        factory = lambda: SLiMFast(learner="em", use_features=False)
+        def factory():
+            return SLiMFast(learner="em", use_features=False)
+
         return (
             evaluate_selection(dataset, chosen, factory, seed=0),
             evaluate_selection(dataset, worst, factory, seed=0),

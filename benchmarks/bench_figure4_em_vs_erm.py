@@ -8,7 +8,6 @@ Three sweeps on the 1000-source x 1000-object instance (reduced to
 * (c) accuracy vs average source accuracy — EM rises, ERM flat.
 """
 
-import pytest
 
 from repro.experiments import figure4a, figure4b, figure4c, series
 

@@ -7,7 +7,6 @@ lasso path must rediscover it: usage features activate early with large
 weights, the PageRank proxy activates late (or with small weight).
 """
 
-import numpy as np
 
 from repro.experiments import lasso_figure
 

@@ -6,7 +6,6 @@ shape: the error decreases as more sources are available, and Crowd is
 predictable even from 25% of workers.
 """
 
-import pytest
 
 from repro.experiments import figure7
 

@@ -7,7 +7,6 @@ copying features help (or match) at small training data, and the top
 copying weights land on genuinely correlated sources.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import CopyingSLiMFast, SLiMFast

@@ -12,7 +12,6 @@ Two checks:
 """
 
 import numpy as np
-import pytest
 
 from repro.core import ERMConfig, ERMLearner, empirical_rademacher_linear
 from repro.data import SyntheticConfig, generate

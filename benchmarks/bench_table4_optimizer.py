@@ -6,7 +6,6 @@ be within the tie margin) in the vast majority of cells — the paper
 reports one mistake across 20 cells.
 """
 
-import pytest
 
 from repro.experiments import table4
 

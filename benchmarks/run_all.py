@@ -6,6 +6,8 @@ Convenience runner for users who want the tables/figures as plain files:
 
 Equivalent to ``pytest benchmarks/ --benchmark-only`` minus the benchmark
 timing machinery; writes the same ``benchmarks/results/*.txt`` artifacts.
+A failing step is reported but does not stop the remaining steps; the exit
+status is nonzero when any step failed, so CI can gate on this script.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import argparse
 import os
 import sys
 import time
+import traceback
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -39,7 +42,6 @@ def main(argv=None) -> int:
         figure4a,
         figure4b,
         figure4c,
-        figure5_grid,
         figure7,
         figure8,
         lasso_figure,
@@ -57,10 +59,21 @@ def main(argv=None) -> int:
     RESULTS_DIR.mkdir(exist_ok=True)
     seeds = (0, 1, 2) if args.full else (0,)
     fractions = (0.001, 0.01, 0.05, 0.10, 0.20)
+    failures = []
 
     def publish(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(f"\n=== {name} ===\n{text}")
+
+    def step(name: str, fn) -> None:
+        """Run one artifact step; record (but don't propagate) failures."""
+        print(f"running {name} ...", file=sys.stderr)
+        try:
+            fn()
+        except Exception:
+            failures.append(name)
+            print(f"FAILED: {name}", file=sys.stderr)
+            traceback.print_exc()
 
     started = time.perf_counter()
     print("generating datasets ...", file=sys.stderr)
@@ -71,59 +84,84 @@ def main(argv=None) -> int:
         "genomics": generate_genomics(seed=0),
     }
 
-    publish("table1_datasets", table1(datasets))
+    step("table1", lambda: publish("table1_datasets", table1(datasets)))
 
-    print("running the Table 2/3/5 sweep ...", file=sys.stderr)
-    report = run_sweep(datasets, TABLE2_METHODS, fractions, seeds)
-    publish("table2_accuracy_panel_a", table2(report))
-    publish("table2_accuracy_panel_b", table2_panel_b(report))
-    publish("table3_source_error", table3(report))
-    publish("table5_runtime", table5(report))
+    def tables_2_3_5() -> None:
+        report = run_sweep(datasets, TABLE2_METHODS, fractions, seeds)
+        publish("table2_accuracy_panel_a", table2(report))
+        publish("table2_accuracy_panel_b", table2_panel_b(report))
+        publish("table3_source_error", table3(report))
+        publish("table5_runtime", table5(report))
 
-    print("running Table 4 ...", file=sys.stderr)
-    _, table4_text = table4(
-        datasets, fractions=fractions, seeds=seeds, tie_margin=0.006
-    )
-    publish("table4_optimizer", table4_text)
-    publish("table6_phases", table6(datasets["genomics"]))
+    step("table2/3/5 sweep", tables_2_3_5)
 
-    print("running Figure 4/5 sweeps ...", file=sys.stderr)
-    n_objects = 1000 if args.full else 400
-    for name, points in (
-        ("figure4a_training_data", figure4a(n_objects=n_objects, seeds=seeds)),
-        (
-            "figure4b_density",
-            figure4b(
-                n_objects=n_objects,
-                train_observations=max(int(400 * n_objects / 1000), 20),
-                seeds=seeds,
-            ),
-        ),
-        ("figure4c_accuracy", figure4c(n_objects=n_objects, seeds=seeds)),
-    ):
-        em = {p.x: p.em_accuracy for p in points}
-        erm = {p.x: p.erm_accuracy for p in points}
-        publish(
-            name,
-            series(em, "x", "EM", title="EM") + "\n\n" + series(erm, "x", "ERM", title="ERM"),
+    def table4_step() -> None:
+        _, table4_text = table4(
+            datasets, fractions=fractions, seeds=seeds, tie_margin=0.006
         )
+        publish("table4_optimizer", table4_text)
 
-    print("running Figures 6-9 ...", file=sys.stderr)
-    publish("figure6_lasso_stocks", lasso_figure(datasets["stocks"]).text)
-    publish("figure9_lasso_crowd", lasso_figure(datasets["crowd"]).text)
-    _, figure7_text = figure7(
-        {k: datasets[k] for k in ("stocks", "demos", "crowd")}, seeds=seeds[:2] or (0,)
+    step("table4", table4_step)
+    step("table6", lambda: publish("table6_phases", table6(datasets["genomics"])))
+
+    n_objects = 1000 if args.full else 400
+
+    def figure4_step() -> None:
+        for name, points in (
+            ("figure4a_training_data", figure4a(n_objects=n_objects, seeds=seeds)),
+            (
+                "figure4b_density",
+                figure4b(
+                    n_objects=n_objects,
+                    train_observations=max(int(400 * n_objects / 1000), 20),
+                    seeds=seeds,
+                ),
+            ),
+            ("figure4c_accuracy", figure4c(n_objects=n_objects, seeds=seeds)),
+        ):
+            em = {p.x: p.em_accuracy for p in points}
+            erm = {p.x: p.erm_accuracy for p in points}
+            publish(
+                name,
+                series(em, "x", "EM", title="EM")
+                + "\n\n"
+                + series(erm, "x", "ERM", title="ERM"),
+            )
+
+    step("figure4/5 sweeps", figure4_step)
+    step(
+        "figure6",
+        lambda: publish("figure6_lasso_stocks", lasso_figure(datasets["stocks"]).text),
     )
-    publish("figure7_initialization", figure7_text)
-    demos_small = generate_demos(
-        n_objects=800, n_sources=200, n_copy_groups=15, seed=0
+    step(
+        "figure9",
+        lambda: publish("figure9_lasso_crowd", lasso_figure(datasets["crowd"]).text),
     )
-    publish("figure8_copying", figure8(demos_small, seeds=(0,)).text)
+
+    def figure7_step() -> None:
+        _, figure7_text = figure7(
+            {k: datasets[k] for k in ("stocks", "demos", "crowd")},
+            seeds=seeds[:2] or (0,),
+        )
+        publish("figure7_initialization", figure7_text)
+
+    step("figure7", figure7_step)
+
+    def figure8_step() -> None:
+        demos_small = generate_demos(
+            n_objects=800, n_sources=200, n_copy_groups=15, seed=0
+        )
+        publish("figure8_copying", figure8(demos_small, seeds=(0,)).text)
+
+    step("figure8", figure8_step)
 
     print(
         f"done in {time.perf_counter() - started:.0f}s; artifacts in {RESULTS_DIR}",
         file=sys.stderr,
     )
+    if failures:
+        print(f"{len(failures)} step(s) failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
     return 0
 
 

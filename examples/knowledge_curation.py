@@ -16,7 +16,6 @@ walks that workflow with the library's extension modules:
 Run:  python examples/knowledge_curation.py
 """
 
-import numpy as np
 
 from repro import SLiMFast
 from repro.data import generate_genomics

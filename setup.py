@@ -1,8 +1,9 @@
 """Setuptools shim.
 
-The project metadata lives in pyproject.toml; this file exists so that
-``pip install -e .`` works on environments whose setuptools cannot build
-PEP 660 editable wheels (no ``wheel`` package available offline).
+All project metadata and tool configuration live in pyproject.toml; this
+file exists so that ``pip install -e .`` works on environments whose
+setuptools cannot build PEP 660 editable wheels (no ``wheel`` package
+available offline).
 """
 
 from setuptools import setup

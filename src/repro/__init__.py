@@ -23,12 +23,41 @@ Package map:
 
 * :mod:`repro.core` — SLiMFast model, ERM/EM learners, the EM-vs-ERM
   optimizer, guarantees, lasso analysis, copying extension.
-* :mod:`repro.fusion` — dataset containers, feature encoding, metrics.
+* :mod:`repro.fusion` — dataset containers, feature encoding, metrics, and
+  the dense-encoding layer backing the vectorized engine.
 * :mod:`repro.baselines` — Majority, Counts, ACCU, CATD, SSTF, TruthFinder.
 * :mod:`repro.factorgraph` — factor-graph engine (DeepDive substrate).
 * :mod:`repro.optim` — objectives and solvers (L-BFGS, FISTA, SGD).
 * :mod:`repro.data` — synthetic generators and paper-dataset simulators.
 * :mod:`repro.experiments` — harness regenerating every paper table/figure.
+
+Execution backends
+------------------
+
+Every hot path (posteriors, EM E-step, ERM objectives, Gibbs sweeps) runs
+on one of two engines selected by a ``backend`` argument on the learners,
+the inference functions and the :class:`~repro.core.slimfast.SLiMFast`
+facade:
+
+* ``"vectorized"`` (default) — flat NumPy index arrays compiled once per
+  dataset by :mod:`repro.fusion.encoding` (CSR object→observation spans,
+  value codes, candidate-pair rows, cached design matrix); inference is a
+  single segmented softmax over row spans, and EM/ERM solver iterations
+  run on per-source sufficient statistics.
+* ``"reference"`` — the original per-object Python loops, kept as the
+  machine-checked ground truth.
+
+``tests/test_vectorized_equivalence.py`` asserts both engines agree to
+``atol=1e-8`` across random datasets.  Benchmark the engines and refresh
+the CI regression baseline with::
+
+    PYTHONPATH=src python benchmarks/bench_vectorized_engine.py            # full, 10k observations
+    PYTHONPATH=src python benchmarks/bench_vectorized_engine.py --smoke \
+        --output benchmarks/BENCH_inference.json                           # refresh CI baseline
+
+CI (``.github/workflows/ci.yml``) runs the tier-1 suite on Python
+3.9/3.11, ruff lint, and the smoke benchmark gated against the committed
+``benchmarks/BENCH_inference.json`` (>20% speedup regression fails).
 """
 
 from .baselines import Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder

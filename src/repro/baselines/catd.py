@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
-import numpy as np
 from scipy import stats
 
 from ..fusion.dataset import FusionDataset

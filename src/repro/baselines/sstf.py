@@ -22,7 +22,7 @@ import numpy as np
 
 from ..fusion.dataset import FusionDataset
 from ..fusion.result import FusionResult
-from ..fusion.types import ObjectId, SourceId, Value
+from ..fusion.types import ObjectId, Value
 from .base import Fuser
 
 

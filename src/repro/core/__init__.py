@@ -18,7 +18,15 @@ from .guarantees import (
     expected_observations,
     rademacher_linear,
 )
-from .inference import expected_correctness, map_assignment, pair_scores, posteriors
+from .inference import (
+    expected_correctness,
+    map_assignment,
+    map_rows,
+    package_posteriors,
+    pair_scores,
+    posterior_rows,
+    posteriors,
+)
 from .initialization import (
     InitializationReport,
     evaluate_initialization,
@@ -73,7 +81,10 @@ __all__ = [
     "PairStructure",
     "build_pair_structure",
     "posteriors",
+    "posterior_rows",
+    "package_posteriors",
     "map_assignment",
+    "map_rows",
     "pair_scores",
     "expected_correctness",
 ]

@@ -22,7 +22,7 @@ Two refinements are provided beyond the paper's estimator:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

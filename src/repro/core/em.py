@@ -26,15 +26,16 @@ from typing import Dict, List, Mapping, Optional
 import numpy as np
 
 from ..fusion.dataset import FusionDataset
+from ..fusion.encoding import check_backend, encode_dataset
 from ..fusion.features import FeatureSpace, build_design_matrix
 from ..fusion.types import ObjectId, Value
 from ..optim.numerics import logit
-from ..optim.objectives import CorrectnessObjective
+from ..optim.objectives import CorrectnessObjective, reduce_correctness_samples
 from ..optim.solvers import minimize_lbfgs, sgd
 from .erm import ERMConfig, ERMLearner
 from .inference import expected_correctness
 from .model import AccuracyModel, model_from_flat
-from .structure import PairStructure, build_pair_structure
+from .structure import build_pair_structure
 
 
 @dataclass
@@ -59,6 +60,10 @@ class EMConfig:
         discriminative equivalent of Zhao et al.'s generative model).
     solver:
         "lbfgs" (default) or "sgd" for the M-step.
+    backend:
+        ``"vectorized"`` (default) runs the E-step clamp and the M-step
+        sufficient statistics as array reductions over the dataset's dense
+        encoding; ``"reference"`` keeps the original per-object loops.
     """
 
     max_iterations: int = 50
@@ -69,6 +74,7 @@ class EMConfig:
     l2_features: float = 1.0
     use_features: bool = True
     solver: str = "lbfgs"
+    backend: str = "vectorized"
     sgd_epochs: int = 10
     seed: int = 0
 
@@ -89,6 +95,7 @@ class EMLearner:
         base = config if config is not None else EMConfig()
         if overrides:
             base = EMConfig(**{**base.__dict__, **overrides})
+        check_backend(base.backend)
         self.config = base
         self.trace_: Optional[EMTrace] = None
 
@@ -105,12 +112,18 @@ class EMLearner:
         (semi-supervised with clamped evidence variables).
         """
         truth = dict(truth or {})
+        vectorized = self.config.backend == "vectorized"
         if design is None or feature_space is None:
-            design, feature_space = build_design_matrix(
-                dataset, use_features=self.config.use_features
-            )
+            if vectorized:
+                design, feature_space = encode_dataset(dataset).design(
+                    self.config.use_features
+                )
+            else:
+                design, feature_space = build_design_matrix(
+                    dataset, use_features=self.config.use_features
+                )
 
-        structure = build_pair_structure(dataset)
+        structure = build_pair_structure(dataset, backend=self.config.backend)
         label_rows = structure.label_rows(truth)
 
         # The M-step model carries an unpenalized shared intercept: ridge
@@ -126,15 +139,28 @@ class EMLearner:
         deltas: List[float] = []
         converged = False
         previous_acc = model.accuracies()
+        reduce_m_step = vectorized and self.config.solver != "sgd"
         for _ in range(self.config.max_iterations):
             # E-step: soft correctness of each observation.
-            q_obs, _ = expected_correctness(structure, model.trust_scores(), label_rows)
+            q_obs, _ = expected_correctness(
+                structure, model.trust_scores(), label_rows,
+                backend=self.config.backend,
+            )
 
             # M-step: weighted logistic regression with soft labels.
+            if reduce_m_step:
+                source_idx, labels, sample_weights = reduce_correctness_samples(
+                    structure.obs_source_idx, q_obs, dataset.n_sources
+                )
+            else:
+                source_idx, labels, sample_weights = (
+                    structure.obs_source_idx, q_obs, None
+                )
             objective = CorrectnessObjective(
-                source_idx=structure.obs_source_idx,
-                labels=q_obs,
+                source_idx=source_idx,
+                labels=labels,
                 design=design,
+                sample_weights=sample_weights,
                 l2_sources=self.config.l2_sources,
                 l2_features=self.config.l2_features,
                 intercept=True,
@@ -183,6 +209,7 @@ class EMLearner:
                     l2_sources=self.config.l2_sources,
                     l2_features=self.config.l2_features,
                     use_features=self.config.use_features,
+                    backend=self.config.backend,
                 )
             )
             try:
@@ -192,11 +219,17 @@ class EMLearner:
             # Sources without labeled observations keep the uniform prior so
             # the first E-step still behaves like majority vote for objects
             # the labeled sources do not cover.
-            labeled_sources = {
-                dataset.sources.index(obs.source)
-                for obs in dataset.observations
-                if obs.obj in truth
-            }
+            if self.config.backend == "vectorized":
+                labeled, _ = encode_dataset(dataset).truth_codes(truth)
+                labeled_sources = np.unique(
+                    dataset.obs_source_idx[labeled[dataset.obs_object_idx]]
+                )
+            else:
+                labeled_sources = {
+                    dataset.sources.index(obs.source)
+                    for obs in dataset.observations
+                    if obs.obj in truth
+                }
             for s_idx in labeled_sources:
                 w[s_idx] = warm.w_sources[s_idx]
             w[dataset.n_sources :] = warm.w_features

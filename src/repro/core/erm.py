@@ -19,14 +19,19 @@ ablation bench compares them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..fusion.dataset import FusionDataset
+from ..fusion.encoding import check_backend, encode_dataset
 from ..fusion.features import FeatureSpace, build_design_matrix
 from ..fusion.types import DatasetError, ObjectId, Value
-from ..optim.objectives import ConditionalObjective, CorrectnessObjective
+from ..optim.objectives import (
+    ConditionalObjective,
+    CorrectnessObjective,
+    reduce_correctness_samples,
+)
 from ..optim.solvers import SolverResult, fista, minimize_lbfgs, sgd
 from .model import AccuracyModel, model_from_flat
 from .structure import build_pair_structure
@@ -52,6 +57,11 @@ class ERMConfig:
         Fit a shared bias; required for unseen-source prediction.
     use_features:
         When False, reduces to the paper's Sources-ERM variant.
+    backend:
+        ``"vectorized"`` (default) derives training pairs from the dataset's
+        dense encoding and batches the correctness objective into per-source
+        sufficient statistics for the deterministic solvers;
+        ``"reference"`` keeps the original observation-walking loops.
     """
 
     objective: str = "correctness"
@@ -61,24 +71,45 @@ class ERMConfig:
     solver: str = "lbfgs"
     intercept: bool = False
     use_features: bool = True
+    backend: str = "vectorized"
     sgd_epochs: int = 40
     sgd_learning_rate: float = 0.5
     seed: int = 0
 
 
 def correctness_training_pairs(
-    dataset: FusionDataset, truth: Mapping[ObjectId, Value]
+    dataset: FusionDataset,
+    truth: Mapping[ObjectId, Value],
+    backend: str = "vectorized",
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """(source_idx, correctness label) pairs for observations on labeled objects."""
-    sources = []
-    labels = []
-    for obs in dataset.observations:
-        expected = truth.get(obs.obj)
-        if expected is None:
-            continue
-        sources.append(dataset.sources.index(obs.source))
-        labels.append(1.0 if obs.value == expected else 0.0)
-    return np.asarray(sources, dtype=np.int64), np.asarray(labels, dtype=float)
+    """(source_idx, correctness label) pairs for observations on labeled objects.
+
+    Both backends return identical arrays in dataset observation order; the
+    vectorized one gathers them from the dense encoding's index arrays.
+    """
+    if check_backend(backend) == "reference":
+        sources = []
+        labels = []
+        for obs in dataset.observations:
+            expected = truth.get(obs.obj)
+            if expected is None:
+                continue
+            sources.append(dataset.sources.index(obs.source))
+            labels.append(1.0 if obs.value == expected else 0.0)
+        return np.asarray(sources, dtype=np.int64), np.asarray(labels, dtype=float)
+
+    encoding = encode_dataset(dataset)
+    # A truth entry of None means "unlabeled" in the reference semantics.
+    labeled, codes = encoding.truth_codes(
+        {obj: value for obj, value in truth.items() if value is not None}
+    )
+    object_idx = dataset.obs_object_idx
+    rows = np.flatnonzero(labeled[object_idx])
+    source_idx = dataset.obs_source_idx[rows]
+    label_values = (
+        dataset.obs_value_idx[rows] == codes[object_idx[rows]]
+    ).astype(float)
+    return source_idx, label_values
 
 
 class ERMLearner:
@@ -92,6 +123,7 @@ class ERMLearner:
             raise ValueError(f"unknown objective {base.objective!r}")
         if base.solver not in ("lbfgs", "sgd"):
             raise ValueError(f"unknown solver {base.solver!r}")
+        check_backend(base.backend)
         self.config = base
 
     # ------------------------------------------------------------------
@@ -112,9 +144,14 @@ class ERMLearner:
         if not truth:
             raise DatasetError("ERM requires at least one ground-truth label")
         if design is None or feature_space is None:
-            design, feature_space = build_design_matrix(
-                dataset, use_features=self.config.use_features
-            )
+            if self.config.backend == "vectorized":
+                design, feature_space = encode_dataset(dataset).design(
+                    self.config.use_features
+                )
+            else:
+                design, feature_space = build_design_matrix(
+                    dataset, use_features=self.config.use_features
+                )
 
         if self.config.objective == "correctness":
             objective = self._correctness_objective(dataset, truth, design)
@@ -140,13 +177,23 @@ class ERMLearner:
         truth: Mapping[ObjectId, Value],
         design: np.ndarray,
     ) -> CorrectnessObjective:
-        source_idx, labels = correctness_training_pairs(dataset, truth)
+        source_idx, labels = correctness_training_pairs(
+            dataset, truth, backend=self.config.backend
+        )
         if source_idx.size == 0:
             raise DatasetError("no observations overlap the provided ground truth")
+        sample_weights = None
+        if self.config.backend == "vectorized" and self.config.solver != "sgd":
+            # Deterministic solvers see the loss only through per-source
+            # scores, so batch the samples into sufficient statistics.
+            source_idx, labels, sample_weights = reduce_correctness_samples(
+                source_idx, labels, dataset.n_sources
+            )
         return CorrectnessObjective(
             source_idx=source_idx,
             labels=labels,
             design=design,
+            sample_weights=sample_weights,
             l2_sources=self.config.l2_sources,
             l2_features=self.config.l2_features,
             intercept=self.config.intercept,
@@ -161,7 +208,9 @@ class ERMLearner:
         labeled_objects = [obj for obj in dataset.objects if obj in truth]
         if not labeled_objects:
             raise DatasetError("no labeled objects found in the dataset")
-        structure = build_pair_structure(dataset, labeled_objects)
+        structure = build_pair_structure(
+            dataset, labeled_objects, backend=self.config.backend
+        )
         label_rows = structure.label_rows(dict(truth))
         return ConditionalObjective(
             design=design,

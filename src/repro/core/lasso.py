@@ -23,7 +23,7 @@ import numpy as np
 from ..fusion.dataset import FusionDataset
 from ..fusion.features import FeatureSpace, build_design_matrix
 from ..fusion.types import DatasetError, ObjectId, Value
-from ..optim.objectives import CorrectnessObjective, ParameterLayout
+from ..optim.objectives import ParameterLayout
 from ..optim.solvers import fista
 from .erm import correctness_training_pairs
 

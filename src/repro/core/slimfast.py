@@ -29,12 +29,19 @@ import time
 from typing import Dict, Mapping, Optional
 
 from ..fusion.dataset import FusionDataset
-from ..fusion.features import FeatureSpace, build_design_matrix
+from ..fusion.encoding import check_backend, encode_dataset
+from ..fusion.features import build_design_matrix
 from ..fusion.result import FusionResult
 from ..fusion.types import DatasetError, NotFittedError, ObjectId, Value
 from .em import EMConfig, EMLearner
 from .erm import ERMConfig, ERMLearner
-from .inference import map_assignment, posteriors
+from .inference import (
+    map_assignment,
+    map_rows,
+    package_posteriors,
+    posterior_rows,
+    posteriors,
+)
 from .model import AccuracyModel
 from .optimizer import OptimizerDecision, decide
 from .structure import build_pair_structure
@@ -59,6 +66,11 @@ class SLiMFast:
         arguments when omitted.
     optimizer_per_observation / optimizer_accuracy_method:
         Optimizer variants, see :mod:`repro.core.optimizer`.
+    backend:
+        Inference/learning engine: ``"vectorized"`` (default, dense-array
+        reductions over the dataset's cached encoding) or ``"reference"``
+        (the original loop implementations).  Ignored for learner configs
+        passed explicitly.
     """
 
     def __init__(
@@ -74,6 +86,7 @@ class SLiMFast:
         em_config: Optional[EMConfig] = None,
         optimizer_per_observation: bool = False,
         optimizer_accuracy_method: str = "domain-corrected",
+        backend: str = "vectorized",
         seed: int = 0,
     ) -> None:
         if learner not in ("auto", "erm", "em"):
@@ -81,6 +94,7 @@ class SLiMFast:
         self.learner = learner
         self.use_features = use_features
         self.tau = tau
+        self.backend = check_backend(backend)
         self.optimizer_per_observation = optimizer_per_observation
         self.optimizer_accuracy_method = optimizer_accuracy_method
         self.erm_config = erm_config or ERMConfig(
@@ -89,6 +103,7 @@ class SLiMFast:
             l2_features=l2_features,
             solver=solver,
             use_features=use_features,
+            backend=backend,
             seed=seed,
         )
         self.em_config = em_config or EMConfig(
@@ -96,6 +111,7 @@ class SLiMFast:
             l2_features=l2_features,
             use_features=use_features,
             solver=solver,
+            backend=backend,
             seed=seed,
         )
 
@@ -118,7 +134,12 @@ class SLiMFast:
         self._train_truth = truth
 
         started = time.perf_counter()
-        design, space = build_design_matrix(dataset, use_features=self.use_features)
+        if self.backend == "vectorized":
+            # One compile covers the index arrays and the design matrix;
+            # both are cached on the dataset for every later consumer.
+            design, space = encode_dataset(dataset).design(self.use_features)
+        else:
+            design, space = build_design_matrix(dataset, use_features=self.use_features)
         self.timings_["compile"] = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -162,11 +183,20 @@ class SLiMFast:
         if self.model_ is None or self._dataset is None:
             raise NotFittedError("call fit() before predict()")
         started = time.perf_counter()
-        structure = build_pair_structure(self._dataset)
-        posterior = posteriors(
-            self._dataset, self.model_, structure=structure, clamp=self._train_truth
-        )
-        values = map_assignment(posterior)
+        structure = build_pair_structure(self._dataset, backend=self.backend)
+        if self.backend == "vectorized":
+            probs = posterior_rows(structure, self.model_)
+            posterior = package_posteriors(structure, probs, clamp=self._train_truth)
+            values = map_rows(structure, probs, clamp=self._train_truth)
+        else:
+            posterior = posteriors(
+                self._dataset,
+                self.model_,
+                structure=structure,
+                clamp=self._train_truth,
+                backend="reference",
+            )
+            values = map_assignment(posterior)
         self.timings_["inference"] = time.perf_counter() - started
         diagnostics: Dict[str, object] = {
             "learner": self.chosen_learner_,

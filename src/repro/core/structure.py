@@ -7,16 +7,22 @@ objective) and inference need the same bookkeeping: a flattened list of
 the row of the value it claims.  :class:`PairStructure` builds that once per
 dataset and is shared by the ERM/EM learners, the inference routines and the
 copying extension.
+
+Two construction backends exist: ``"vectorized"`` (default) derives every
+array from the dataset's cached :class:`~repro.fusion.encoding.DenseEncoding`
+with pure NumPy indexing, while ``"reference"`` keeps the original
+observation-walking loops as the machine-checked ground truth.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..fusion.dataset import FusionDataset
+from ..fusion.encoding import DenseEncoding, check_backend, encode_dataset, expand_spans
 from ..fusion.types import ObjectId, Value
 
 
@@ -48,6 +54,9 @@ class PairStructure:
         discriminative counterpart of spreading a source's error mass
         uniformly over the wrong alternatives.  For binary domains the
         offset is zero and the model is exactly the paper's.
+    encoding:
+        The dataset encoding this structure was derived from (set by the
+        vectorized builder; enables array-based :meth:`label_rows`).
     """
 
     object_ids: List[ObjectId]
@@ -58,6 +67,7 @@ class PairStructure:
     obs_source_idx: np.ndarray
     obs_pair_idx: np.ndarray
     base_scores: np.ndarray
+    encoding: Optional[DenseEncoding] = field(default=None, repr=False)
 
     @property
     def n_objects(self) -> int:
@@ -78,6 +88,13 @@ class PairStructure:
         value; objects violating that (possible in noisy simulations) are
         flagged with -1 and excluded from likelihoods.
         """
+        if self.encoding is not None:
+            _, codes = self.encoding.truth_codes(truth)
+            selected = codes[self.object_dataset_idx]
+            labels = np.full(self.n_objects, -1, dtype=np.int64)
+            claimed = selected >= 0
+            labels[claimed] = self.pair_offsets[:-1][claimed] + selected[claimed]
+            return labels
         labels = np.full(self.n_objects, -1, dtype=np.int64)
         for position, obj in enumerate(self.object_ids):
             if obj not in truth:
@@ -91,9 +108,80 @@ class PairStructure:
 
 
 def build_pair_structure(
-    dataset: FusionDataset, objects: Optional[Sequence[ObjectId]] = None
+    dataset: FusionDataset,
+    objects: Optional[Sequence[ObjectId]] = None,
+    backend: str = "vectorized",
 ) -> PairStructure:
     """Construct the :class:`PairStructure` for ``objects`` (default: all)."""
+    if check_backend(backend) == "vectorized":
+        return _build_vectorized(dataset, objects)
+    return _build_reference(dataset, objects)
+
+
+def _build_vectorized(
+    dataset: FusionDataset, objects: Optional[Sequence[ObjectId]]
+) -> PairStructure:
+    """Array-only construction from the dataset's dense encoding."""
+    encoding = encode_dataset(dataset)
+    if objects is None:
+        return PairStructure(
+            object_ids=dataset.objects.items,
+            object_dataset_idx=np.arange(dataset.n_objects, dtype=np.int64),
+            pair_object_pos=encoding.pair_object_idx,
+            pair_values=encoding.pair_values,
+            pair_offsets=encoding.pair_offsets,
+            obs_source_idx=encoding.obs_source_idx,
+            obs_pair_idx=encoding.obs_pair_idx,
+            base_scores=encoding.base_scores,
+            encoding=encoding,
+        )
+
+    object_ids = list(objects)
+    selected = np.asarray(
+        [dataset.objects.index(obj) for obj in object_ids], dtype=np.int64
+    )
+    domain_sizes = encoding.domain_sizes[selected]
+    pair_offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(domain_sizes, dtype=np.int64)]
+    )
+    pair_object_pos = np.repeat(
+        np.arange(len(object_ids), dtype=np.int64), domain_sizes
+    )
+    all_values = encoding.pair_values
+    pair_values: List[Value] = []
+    for o_idx in selected:
+        start, stop = encoding.pair_offsets[o_idx], encoding.pair_offsets[o_idx + 1]
+        pair_values.extend(all_values[start:stop])
+
+    obs_starts = encoding.obs_offsets[selected]
+    obs_lengths = encoding.obs_offsets[selected + 1] - obs_starts
+    positions = expand_spans(obs_starts, obs_lengths)
+    obs_object_pos = np.repeat(
+        np.arange(len(object_ids), dtype=np.int64), obs_lengths
+    )
+    obs_pair_idx = pair_offsets[obs_object_pos] + encoding.obs_value_code[positions]
+    base_scores = np.bincount(
+        obs_pair_idx,
+        weights=encoding.log_alternatives[encoding.obs_object_idx[positions]],
+        minlength=int(pair_offsets[-1]),
+    )
+    return PairStructure(
+        object_ids=object_ids,
+        object_dataset_idx=selected,
+        pair_object_pos=pair_object_pos,
+        pair_values=pair_values,
+        pair_offsets=pair_offsets,
+        obs_source_idx=encoding.obs_source_idx[positions],
+        obs_pair_idx=obs_pair_idx,
+        base_scores=base_scores,
+        encoding=encoding,
+    )
+
+
+def _build_reference(
+    dataset: FusionDataset, objects: Optional[Sequence[ObjectId]]
+) -> PairStructure:
+    """Original loop-based construction (ground truth for the tests)."""
     if objects is None:
         object_ids = dataset.objects.items
     else:

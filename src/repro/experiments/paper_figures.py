@@ -17,7 +17,7 @@ from ..core.slimfast import SLiMFast
 from ..fusion.dataset import FusionDataset
 from ..fusion.metrics import object_value_accuracy
 from ..fusion.types import SourceId
-from .reporting import format_table, series
+from .reporting import format_table
 
 
 # ----------------------------------------------------------------------

@@ -15,7 +15,7 @@ with EM and ERM corresponding to the Sources-EM / Sources-ERM variants
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

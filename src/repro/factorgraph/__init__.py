@@ -13,7 +13,12 @@ from .compiler import (
     compile_dataset,
     compile_with_copying,
 )
-from .gibbs import GibbsResult, GibbsSampler
+from .gibbs import (
+    GibbsResult,
+    GibbsSampler,
+    UnaryScoreTables,
+    compile_unary_score_tables,
+)
 from .graph import Factor, FactorGraph, GraphError, Variable
 from .learning import LearningResult, PseudoLikelihoodLearner
 
@@ -24,6 +29,8 @@ __all__ = [
     "GraphError",
     "GibbsSampler",
     "GibbsResult",
+    "UnaryScoreTables",
+    "compile_unary_score_tables",
     "CompiledGraph",
     "compile_dataset",
     "compile_with_copying",

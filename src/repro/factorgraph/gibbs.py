@@ -6,17 +6,31 @@ implemented over DeepDive's sampler".  This sampler does the same over our
 variables in a fixed order, resample each from its full conditional (a
 softmax of the local scores), and accumulate marginal counts after an
 initial burn-in.
+
+Two backends are available.  ``"reference"`` (default) evaluates every
+adjacent factor's Python feature function at every sweep — faithful to the
+DeepDive execution model but slow.  ``"vectorized"`` first *compiles* the
+graph into per-variable factor-score tables (one flat score vector over all
+(variable, value) rows); for graphs whose latent-adjacent factors are all
+unary — which is exactly what :mod:`repro.factorgraph.compiler` emits for
+SLiMFast — the full conditionals are state-independent, so entire sweeps
+collapse into one segmented inverse-CDF draw over the precomputed tables.
+``"auto"`` picks vectorized when the graph compiles and falls back to the
+reference sweeps otherwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
 from ..optim.numerics import softmax
-from .graph import FactorGraph
+from ..optim.objectives import segment_softmax
+from .graph import FactorGraph, GraphError
+
+GIBBS_BACKENDS = ("reference", "vectorized", "auto")
 
 
 @dataclass
@@ -44,6 +58,64 @@ class GibbsResult:
         }
 
 
+@dataclass
+class UnaryScoreTables:
+    """Per-variable conditional score tables of a unary-factor graph.
+
+    Attributes
+    ----------
+    names:
+        Latent variable names in graph order.
+    domains:
+        Domain tuple per latent variable.
+    offsets:
+        CSR offsets into the flattened (variable, value) ``scores`` vector.
+    scores:
+        Unnormalized log-score of every (variable, value) row.
+    """
+
+    names: List[Hashable]
+    domains: List[tuple]
+    offsets: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.names)
+
+
+def compile_unary_score_tables(graph: FactorGraph) -> UnaryScoreTables:
+    """Precompute every latent variable's conditional score table.
+
+    Requires all factors adjacent to latent variables to be unary (true for
+    the SLiMFast compilation, where every vote/feature/offset factor touches
+    one object variable); raises :class:`GraphError` otherwise.
+    """
+    latent = graph.latent_variables()
+    for variable in latent:
+        for factor in graph.factors_of(variable.name):
+            if len(factor.variables) != 1:
+                raise GraphError(
+                    "vectorized Gibbs requires unary factors; factor over "
+                    f"{factor.variables!r} touches latent {variable.name!r}"
+                )
+    names = [variable.name for variable in latent]
+    domains = [variable.domain for variable in latent]
+    cardinalities = np.asarray([len(d) for d in domains], dtype=np.int64)
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(cardinalities, dtype=np.int64)]
+    )
+    scores = np.empty(int(offsets[-1]), dtype=float)
+    empty_assignment: Dict[Hashable, Hashable] = {}
+    for i, variable in enumerate(latent):
+        scores[offsets[i] : offsets[i + 1]] = graph.local_scores(
+            variable.name, empty_assignment
+        )
+    return UnaryScoreTables(
+        names=names, domains=domains, offsets=offsets, scores=scores
+    )
+
+
 class GibbsSampler:
     """Single-chain Gibbs sampler with burn-in.
 
@@ -52,24 +124,112 @@ class GibbsSampler:
     n_samples:
         Samples to retain for marginal estimation.
     burn_in:
-        Initial sweeps to discard.
+        Initial sweeps to discard.  (With the vectorized backend the
+        conditionals are state-independent, so burn-in sweeps would be
+        i.i.d. draws; they are skipped without affecting the sampling
+        distribution.)
     seed:
-        RNG seed for reproducibility.
+        RNG seed for reproducibility.  The two backends consume randomness
+        differently, so per-backend streams differ while targeting the same
+        distribution.
+    backend:
+        ``"reference"`` (default), ``"vectorized"`` or ``"auto"``.
     """
 
-    def __init__(self, n_samples: int = 500, burn_in: int = 100, seed: int = 0) -> None:
+    def __init__(
+        self,
+        n_samples: int = 500,
+        burn_in: int = 100,
+        seed: int = 0,
+        backend: str = "reference",
+    ) -> None:
         if n_samples < 1:
             raise ValueError("n_samples must be positive")
+        if backend not in GIBBS_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {GIBBS_BACKENDS}"
+            )
         self.n_samples = n_samples
         self.burn_in = burn_in
         self.seed = seed
+        self.backend = backend
 
     def run(
         self,
         graph: FactorGraph,
         initial_state: Optional[Dict[Hashable, Hashable]] = None,
     ) -> GibbsResult:
-        """Sample the latent variables of ``graph``."""
+        """Sample the latent variables of ``graph``.
+
+        With the vectorized backend the conditionals are state-independent,
+        so ``initial_state`` cannot influence the draws and is ignored
+        (``last_state`` is simply the final i.i.d. sweep).  ``"auto"``
+        preserves warm-restart semantics by using the reference sweeps
+        whenever an ``initial_state`` is supplied.
+        """
+        if self.backend == "vectorized" or (
+            self.backend == "auto" and initial_state is None
+        ):
+            try:
+                tables = compile_unary_score_tables(graph)
+            except GraphError:
+                if self.backend == "vectorized":
+                    raise
+            else:
+                return self._run_vectorized(tables)
+        return self._run_reference(graph, initial_state)
+
+    # ------------------------------------------------------------------
+    def _run_vectorized(self, tables: UnaryScoreTables) -> GibbsResult:
+        """Sample all variables per sweep from the precomputed tables.
+
+        Each variable's full conditional is a static softmax of its score
+        table, so a sweep is one inverse-CDF lookup per variable; all
+        ``n_samples`` sweeps batch into a single searchsorted over the
+        concatenated per-variable CDFs.
+        """
+        rng = np.random.default_rng(self.seed)
+        n_vars = tables.n_variables
+        if n_vars == 0:
+            return GibbsResult(marginals={}, last_state={}, n_samples=self.n_samples)
+
+        offsets = tables.offsets
+        segment_idx = np.repeat(
+            np.arange(n_vars, dtype=np.int64), np.diff(offsets)
+        )
+        probs = segment_softmax(tables.scores, segment_idx, n_vars)
+        cdf = np.cumsum(probs)
+        # Exclusive cumulative mass at each variable's first row; each
+        # segment spans ~1.0 of the global CDF.
+        base = np.concatenate([[0.0], cdf])[offsets[:-1]]
+
+        uniforms = rng.random((self.n_samples, n_vars))
+        rows = np.searchsorted(cdf, base[None, :] + uniforms, side="left")
+        # Guard against float drift pushing a draw across a segment edge.
+        rows = np.clip(rows, offsets[:-1][None, :], (offsets[1:] - 1)[None, :])
+
+        counts = np.bincount(rows.ravel(), minlength=int(offsets[-1]))
+        marginals: Dict[Hashable, Dict[Hashable, float]] = {}
+        last_state: Dict[Hashable, Hashable] = {}
+        for i, name in enumerate(tables.names):
+            domain = tables.domains[i]
+            start = int(offsets[i])
+            marginals[name] = {
+                value: float(counts[start + j]) / self.n_samples
+                for j, value in enumerate(domain)
+            }
+            last_state[name] = domain[int(rows[-1, i]) - start]
+        return GibbsResult(
+            marginals=marginals, last_state=last_state, n_samples=self.n_samples
+        )
+
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self,
+        graph: FactorGraph,
+        initial_state: Optional[Dict[Hashable, Hashable]] = None,
+    ) -> GibbsResult:
+        """Original per-factor sweep loop (ground truth for the tests)."""
         rng = np.random.default_rng(self.seed)
         latent = graph.latent_variables()
         state: Dict[Hashable, Hashable] = {}

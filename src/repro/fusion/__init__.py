@@ -1,6 +1,7 @@
 """Fusion data model: datasets, features, metrics and result containers."""
 
 from .dataset import FusionDataset, Split, subset_sources
+from .encoding import DenseEncoding, encode_dataset
 from .features import FeatureSpace, build_design_matrix
 from .metrics import (
     bernoulli_kl,
@@ -28,6 +29,8 @@ __all__ = [
     "FusionDataset",
     "Split",
     "subset_sources",
+    "DenseEncoding",
+    "encode_dataset",
     "FeatureSpace",
     "build_design_matrix",
     "FusionResult",

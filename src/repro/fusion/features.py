@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .dataset import FusionDataset
-from .types import DatasetError, Indexer, SourceId
+from .types import DatasetError, Indexer
 
 
 @dataclass(frozen=True)

@@ -74,6 +74,10 @@ class Indexer(Generic[T]):
         """Return the index of ``item``; raises ``KeyError`` if unknown."""
         return self._index[item]
 
+    def get(self, item: T, default: Optional[int] = None) -> Optional[int]:
+        """Return the index of ``item``, or ``default`` when unknown."""
+        return self._index.get(item, default)
+
     def item(self, idx: int) -> T:
         """Return the item stored at integer index ``idx``."""
         return self._items[idx]

@@ -1,6 +1,5 @@
 """Property-based tests shared across all baseline fusers."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

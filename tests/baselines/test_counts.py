@@ -1,6 +1,5 @@
 """Tests for the Counts (Naive Bayes) baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import Counts

@@ -1,7 +1,6 @@
 """Tests for the TruthFinder baseline (Yin et al. 2007)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import TruthFinder
 from repro.data import SyntheticConfig, generate

@@ -7,7 +7,7 @@ from repro.core import build_pair_structure, map_assignment, posteriors
 from repro.core.inference import expected_correctness, pair_scores
 from repro.core.model import AccuracyModel
 from repro.fusion import FusionDataset
-from repro.optim import logit, sigmoid
+from repro.optim import logit
 
 
 def model_with_accuracies(dataset, accuracies):

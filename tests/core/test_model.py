@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import AccuracyModel, model_from_flat
-from repro.fusion import FeatureSpace, FusionDataset, NotFittedError
+from repro.fusion import NotFittedError
 from repro.fusion.features import build_design_matrix
 from repro.optim import logit, sigmoid
 

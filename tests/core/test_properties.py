@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.core import build_pair_structure, map_assignment, posteriors
 from repro.core.model import AccuracyModel
 from repro.fusion import FusionDataset, Observation
-from repro.optim import logit, sigmoid
+from repro.optim import logit
 
 
 @st.composite

@@ -1,7 +1,6 @@
 """Tests for the flattened pair structure."""
 
 import numpy as np
-import pytest
 
 from repro.core import build_pair_structure
 from repro.fusion import FusionDataset

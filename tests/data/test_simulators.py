@@ -109,8 +109,6 @@ class TestCrowd:
         assert values <= {"positive", "negative", "neutral", "not_weather"}
 
     def test_channel_informative(self, crowd):
-        from repro.data.crowd import CHANNELS
-
         by_channel = {}
         for source in crowd.sources:
             channel = crowd.source_features[source]["channel"]
@@ -137,8 +135,6 @@ class TestGenomics:
         assert genomics.stats().avg_source_accuracy is None
 
     def test_features_dominate_accuracy(self, genomics):
-        from repro.data.genomics import STUDY_TYPES
-
         by_study = {}
         for source in genomics.sources:
             study = genomics.source_features[source]["study"]

@@ -1,6 +1,5 @@
 """Smoke tests for the table/figure drivers at reduced scale."""
 
-import numpy as np
 import pytest
 
 from repro.data import generate_crowd, generate_stocks

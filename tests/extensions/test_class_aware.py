@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data import SyntheticConfig, generate
 from repro.extensions import ClassAwareSLiMFast
 from repro.fusion import FusionDataset, Observation, object_value_accuracy
 

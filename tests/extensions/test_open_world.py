@@ -1,16 +1,14 @@
 """Tests for open-world semantics."""
 
-import numpy as np
 import pytest
 
-from repro.core import ERMLearner, SLiMFast
+from repro.core import SLiMFast
 from repro.extensions import (
     UNKNOWN,
     OpenWorldSLiMFast,
     calibrate_theta,
     open_world_posteriors,
 )
-from repro.fusion import FusionDataset
 
 
 @pytest.fixture

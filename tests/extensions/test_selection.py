@@ -1,6 +1,5 @@
 """Tests for budgeted source selection."""
 
-import numpy as np
 import pytest
 
 from repro.core import SLiMFast
@@ -85,7 +84,9 @@ class TestEvaluateSelection:
         ordered = sorted(accs, key=accs.get)
         worst = ordered[:20]
         best = ordered[-20:]
-        factory = lambda: SLiMFast(learner="em", use_features=False)
+        def factory():
+            return SLiMFast(learner="em", use_features=False)
+
         acc_best = evaluate_selection(small_dataset, best, factory, seed=0)
         acc_worst = evaluate_selection(small_dataset, worst, factory, seed=0)
         assert acc_best > acc_worst

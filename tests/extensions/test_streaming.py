@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.extensions import StreamingFuser, replay_dataset
-from repro.fusion import FusionDataset, Observation, object_value_accuracy
+from repro.fusion import Observation, object_value_accuracy
 
 
 class TestStreamingFuserBasics:

@@ -1,6 +1,5 @@
 """Tests for the dataset-to-factor-graph compiler."""
 
-import numpy as np
 import pytest
 
 from repro.core import ERMLearner, posteriors

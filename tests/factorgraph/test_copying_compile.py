@@ -1,6 +1,5 @@
 """Tests for compiling the copying extension into the factor graph."""
 
-import numpy as np
 import pytest
 
 from repro.core import CopyingSLiMFast, find_candidate_pairs

@@ -35,7 +35,9 @@ class TestGibbsSampler:
         graph = FactorGraph()
         graph.add_variable("x", ["a", "b"])
         graph.add_variable("y", ["a", "b"])
-        agree = lambda args: 1.0 if args[0] == args[1] else 0.0
+        def agree(args):
+            return 1.0 if args[0] == args[1] else 0.0
+
         graph.add_factor(["x", "y"], agree, weight_id="w", initial_weight=1.0)
         graph.add_factor(["x"], indicator("a"), weight_id="u", initial_weight=0.8)
         result = GibbsSampler(n_samples=8000, burn_in=500, seed=2).run(graph)

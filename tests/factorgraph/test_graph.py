@@ -1,6 +1,5 @@
 """Tests for the factor-graph representation."""
 
-import numpy as np
 import pytest
 
 from repro.factorgraph import Factor, FactorGraph, GraphError, Variable
@@ -84,7 +83,9 @@ class TestScoring:
         graph = FactorGraph()
         graph.add_variable("v1", ["a", "b"])
         graph.add_variable("v2", ["a", "b"])
-        agree = lambda args: 1.0 if args[0] == args[1] else 0.0
+        def agree(args):
+            return 1.0 if args[0] == args[1] else 0.0
+
         graph.add_factor(["v1", "v2"], agree, weight_id="w", initial_weight=2.0)
         scores = graph.local_scores("v1", {"v2": "b"})
         assert scores[0] == pytest.approx(0.0)  # v1=a disagrees
@@ -94,7 +95,9 @@ class TestScoring:
         graph = FactorGraph()
         graph.add_variable("v1", ["a", "b"])
         graph.add_variable("v2", ["a", "b"], observed="a")
-        agree = lambda args: 1.0 if args[0] == args[1] else 0.0
+        def agree(args):
+            return 1.0 if args[0] == args[1] else 0.0
+
         graph.add_factor(["v1", "v2"], agree, weight_id="w", initial_weight=3.0)
         scores = graph.local_scores("v1", {})
         assert scores[0] == pytest.approx(3.0)

@@ -1,6 +1,5 @@
 """Unit tests for repro.fusion.dataset."""
 
-import numpy as np
 import pytest
 
 from repro.fusion import DatasetError, FusionDataset, Observation

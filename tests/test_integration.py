@@ -1,15 +1,8 @@
 """End-to-end integration tests across the whole library."""
 
-import numpy as np
 import pytest
 
-from repro import (
-    Accu,
-    Counts,
-    FusionDataset,
-    MajorityVote,
-    SLiMFast,
-)
+from repro import Counts, FusionDataset, SLiMFast
 from repro.core import CopyingSLiMFast, lasso_path
 from repro.data import (
     SyntheticConfig,

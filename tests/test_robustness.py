@@ -5,7 +5,6 @@ import pytest
 
 from repro import Accu, Counts, FusionDataset, MajorityVote, SLiMFast
 from repro.core import estimate_average_accuracy
-from repro.fusion import DatasetError, Observation
 
 
 class TestPathologicalDatasets:
