@@ -22,9 +22,7 @@ from conftest import publish
 
 def _map_values(dataset, model, domain_correction):
     structure = build_pair_structure(dataset)
-    scores = pair_scores(
-        structure, model.trust_scores(), domain_correction=domain_correction
-    )
+    scores = pair_scores(structure, model.trust_scores(), domain_correction=domain_correction)
     probs = segment_softmax(scores, structure.pair_object_pos, structure.n_objects)
     values = {}
     for position, obj in enumerate(structure.object_ids):

@@ -40,14 +40,10 @@ def test_ablation_inference_backends(benchmark, fitted):
         gibbs_time = time.perf_counter() - started
         return exact, exact_time, gibbs, gibbs_time
 
-    exact, exact_time, gibbs, gibbs_time = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
+    exact, exact_time, gibbs, gibbs_time = benchmark.pedantic(run, rounds=1, iterations=1)
 
     exact_map = map_assignment(exact)
-    gibbs_map = {
-        obj: gibbs.marginals[("T", obj)] for obj in dataset.objects
-    }
+    gibbs_map = {obj: gibbs.marginals[("T", obj)] for obj in dataset.objects}
     agreements = sum(
         1
         for obj, dist in gibbs_map.items()

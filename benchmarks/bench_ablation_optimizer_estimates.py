@@ -21,9 +21,7 @@ def test_ablation_accuracy_estimation(benchmark, paper_datasets):
         rows = []
         for name in ("stocks", "demos", "crowd"):
             dataset = paper_datasets[name]
-            true_avg = float(
-                np.mean([dataset.true_accuracies[s] for s in dataset.sources])
-            )
+            true_avg = float(np.mean([dataset.true_accuracies[s] for s in dataset.sources]))
             paper = estimate_average_accuracy(dataset, method="paper")
             corrected = estimate_average_accuracy(dataset, method="domain-corrected")
             rows.append([name, true_avg, paper, corrected])
@@ -94,9 +92,7 @@ def test_ablation_decisions_with_oracle_accuracy(benchmark, paper_datasets):
             dataset = paper_datasets[name]
             design, _ = build_design_matrix(dataset)
             split = dataset.split(0.05, seed=0)
-            true_avg = float(
-                np.mean([dataset.true_accuracies[s] for s in dataset.sources])
-            )
+            true_avg = float(np.mean([dataset.true_accuracies[s] for s in dataset.sources]))
             estimated = decide(dataset, split.train_truth, design.shape[1], tau=0.0)
             oracle = decide(
                 dataset,

@@ -26,9 +26,7 @@ def test_ablation_lbfgs_vs_sgd(benchmark, paper_datasets):
                 model = ERMLearner(
                     ERMConfig(solver=solver, sgd_epochs=60)
                 ).fit(dataset, split.train_truth)
-                values = map_assignment(
-                    posteriors(dataset, model, clamp=split.train_truth)
-                )
+                values = map_assignment(posteriors(dataset, model, clamp=split.train_truth))
                 scores[solver] = object_value_accuracy(
                     values, dataset.ground_truth, split.test_objects
                 )

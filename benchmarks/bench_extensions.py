@@ -64,9 +64,7 @@ def test_extension_open_world_abstention(benchmark, paper_datasets):
         fuser = SLiMFast().fit(dataset, split.train_truth)
         rows = []
         for theta in (-2.0, 1.0, 3.0):
-            out = OpenWorldSLiMFast(theta=theta).predict(
-                dataset, fuser.model_, split.train_truth
-            )
+            out = OpenWorldSLiMFast(theta=theta).predict(dataset, fuser.model_, split.train_truth)
             resolved = {
                 obj: value
                 for obj, value in out.result.values.items()

@@ -58,9 +58,7 @@ def test_figure4a_training_data(benchmark):
     text = (
         _render(plain, "training fraction")
         + "\n\nERM (shared intercept)\n"
-        + "\n".join(
-            f"{p.x:g}  {p.erm_accuracy:.3f}" for p in with_intercept
-        )
+        + "\n".join(f"{p.x:g}  {p.erm_accuracy:.3f}" for p in with_intercept)
     )
     publish("figure4a_training_data", text)
 

@@ -44,9 +44,7 @@ def test_figure5_tradeoff_grid(benchmark):
     )
     publish("figure5_tradeoff", text)
 
-    by_key = {
-        (c.train_fraction, c.avg_accuracy, c.density): c for c in cells
-    }
+    by_key = {(c.train_fraction, c.avg_accuracy, c.density): c for c in cells}
     # Paper Figure 5, top row: with ample ground truth ERM is competitive.
     # We check the high-accuracy columns; in the low-accuracy, sparse
     # corner our semi-supervised EM keeps an edge even at 40% labels

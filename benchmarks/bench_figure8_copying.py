@@ -22,9 +22,7 @@ N_SOURCES = 522 if FULL_SCALE else 200
 
 @pytest.fixture(scope="module")
 def demos():
-    return generate_demos(
-        n_objects=N_OBJECTS, n_sources=N_SOURCES, n_copy_groups=15, seed=0
-    )
+    return generate_demos(n_objects=N_OBJECTS, n_sources=N_SOURCES, n_copy_groups=15, seed=0)
 
 
 def test_figure8_copying_detection(benchmark, demos):
@@ -37,12 +35,8 @@ def test_figure8_copying_detection(benchmark, demos):
             split = demos.split(fraction, seed=0)
             test = list(split.test_objects)
             copying = CopyingSLiMFast(learner="em").fit(demos, split.train_truth)
-            with_copy = object_value_accuracy(
-                copying.predict().values, demos.ground_truth, test
-            )
-            plain = SLiMFast(learner="em", use_features=False).fit_predict(
-                demos, split.train_truth
-            )
+            with_copy = object_value_accuracy(copying.predict().values, demos.ground_truth, test)
+            plain = SLiMFast(learner="em", use_features=False).fit_predict(demos, split.train_truth)
             without = object_value_accuracy(plain.values, demos.ground_truth, test)
             rows.append([f"{fraction * 100:g}", with_copy, without])
             last = copying

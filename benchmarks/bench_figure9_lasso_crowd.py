@@ -28,9 +28,7 @@ def test_figure9_lasso_path_crowd(benchmark, paper_datasets):
     assert early_names[0] != "city"
 
     final = path.final_weights()
-    channel_strength = max(
-        abs(w) for label, w in final.items() if label.startswith("channel=")
-    )
+    channel_strength = max(abs(w) for label, w in final.items() if label.startswith("channel="))
     city_strength = max(
         (abs(w) for label, w in final.items() if label.startswith("city=")),
         default=0.0,

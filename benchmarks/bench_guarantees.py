@@ -33,9 +33,7 @@ def test_guarantee_theorem2_rate(benchmark):
         )
     )
     dataset = instance.dataset
-    true_accuracies = {
-        source: dataset.true_accuracies[source] for source in dataset.sources
-    }
+    true_accuracies = {source: dataset.true_accuracies[source] for source in dataset.sources}
 
     def run():
         rows = []
@@ -43,12 +41,8 @@ def test_guarantee_theorem2_rate(benchmark):
             errors = []
             for seed in (0, 1, 2):
                 split = dataset.split(fraction, seed=seed)
-                model = ERMLearner(ERMConfig(use_features=False)).fit(
-                    dataset, split.train_truth
-                )
-                errors.append(
-                    mean_accuracy_kl(model.accuracy_map(), true_accuracies)
-                )
+                model = ERMLearner(ERMConfig(use_features=False)).fit(dataset, split.train_truth)
+                errors.append(mean_accuracy_kl(model.accuracy_map(), true_accuracies))
             n_labels = int(round(fraction * dataset.n_objects))
             rows.append([n_labels, float(np.mean(errors))])
         return rows

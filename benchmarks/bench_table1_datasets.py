@@ -11,9 +11,7 @@ from conftest import publish
 
 
 def test_table1_dataset_statistics(benchmark, paper_datasets):
-    text = benchmark.pedantic(
-        lambda: table1(paper_datasets), rounds=1, iterations=1
-    )
+    text = benchmark.pedantic(lambda: table1(paper_datasets), rounds=1, iterations=1)
     publish("table1_datasets", text)
 
     stocks = paper_datasets["stocks"].stats()

@@ -59,8 +59,6 @@ def test_table2_panel_a(benchmark, sweep_report, paper_datasets):
 
 
 def test_table2_panel_b(benchmark, sweep_report):
-    text = benchmark.pedantic(
-        lambda: table2_panel_b(sweep_report), rounds=1, iterations=1
-    )
+    text = benchmark.pedantic(lambda: table2_panel_b(sweep_report), rounds=1, iterations=1)
     publish("table2_accuracy_panel_b", text)
     assert "slimfast" in text

@@ -18,7 +18,10 @@ def test_table4_optimizer_decisions(benchmark, paper_datasets):
     # ties (the paper's Table 4 likewise has 0.0%-difference tie cells).
     rows, text = benchmark.pedantic(
         lambda: table4(
-            paper_datasets, fractions=FRACTIONS, seeds=SEEDS, tau=0.1,
+            paper_datasets,
+            fractions=FRACTIONS,
+            seeds=SEEDS,
+            tau=0.1,
             tie_margin=0.006,
         ),
         rounds=1,
@@ -40,9 +43,7 @@ def test_table4_tau_robustness(benchmark, paper_datasets):
         lines = []
         for tau in (0.01, 0.1, 0.5, 1.0):
             rows, _ = table4(datasets, fractions=(0.01, 0.10), seeds=SEEDS, tau=tau)
-            decisions = ", ".join(
-                f"{r.dataset}@{r.train_fraction:g}:{r.decision}" for r in rows
-            )
+            decisions = ", ".join(f"{r.dataset}@{r.train_fraction:g}:{r.decision}" for r in rows)
             correct = sum(1 for r in rows if r.correct)
             lines.append(f"tau={tau}: {correct}/{len(rows)} correct  [{decisions}]")
         return "\n".join(lines)

@@ -18,9 +18,7 @@ FRACTIONS = (0.01, 0.10)
 
 @pytest.fixture(scope="module")
 def sweep_report(paper_datasets):
-    return run_sweep(
-        paper_datasets, methods=METHODS, fractions=FRACTIONS, seeds=SEEDS
-    )
+    return run_sweep(paper_datasets, methods=METHODS, fractions=FRACTIONS, seeds=SEEDS)
 
 
 def test_table5_runtimes(benchmark, sweep_report, paper_datasets):
@@ -30,9 +28,7 @@ def test_table5_runtimes(benchmark, sweep_report, paper_datasets):
     cells = sweep_report.cells
 
     def runtime(dataset, method, fraction):
-        return cells[
-            CellKey(paper_datasets[dataset].name, method, fraction)
-        ].runtime_seconds
+        return cells[CellKey(paper_datasets[dataset].name, method, fraction)].runtime_seconds
 
     # Counting is the cheapest approach on every dataset.
     for dataset in ("stocks", "demos", "crowd", "genomics"):

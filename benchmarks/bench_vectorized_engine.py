@@ -146,7 +146,10 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
         structure = build_pair_structure(dataset, backend="reference")
         return map_assignment(
             posteriors(
-                dataset, model, structure=structure, clamp=truth,
+                dataset,
+                model,
+                structure=structure,
+                clamp=truth,
                 backend="reference",
             )
         )
@@ -159,7 +162,10 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
     case(
         "posterior_package",
         lambda: posteriors(
-            dataset, model, structure=structure_ref, clamp=truth,
+            dataset,
+            model,
+            structure=structure_ref,
+            clamp=truth,
             backend="reference",
         ),
         lambda: package_posteriors(
@@ -168,12 +174,8 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
     )
     case(
         "em_estep",
-        lambda: expected_correctness(
-            structure_ref, trust, label_rows, backend="reference"
-        ),
-        lambda: expected_correctness(
-            structure_vec, trust, label_rows, backend="vectorized"
-        ),
+        lambda: expected_correctness(structure_ref, trust, label_rows, backend="reference"),
+        lambda: expected_correctness(structure_vec, trust, label_rows, backend="vectorized"),
     )
 
     em_rounds = 3 if smoke else 5
@@ -216,11 +218,7 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
     )
 
     core_cases = ("posterior_query", "em_estep", "em_fit")
-    core_speedup = float(
-        statistics.median(
-            c["speedup"] for c in cases if c["name"] in core_cases
-        )
-    )
+    core_speedup = float(statistics.median(c["speedup"] for c in cases if c["name"] in core_cases))
     return {
         "benchmark": "vectorized_engine",
         "mode": "smoke" if smoke else "full",
@@ -290,27 +288,38 @@ def check_regression(report: dict, baseline_path: Path, max_regression: float) -
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument(
-        "--smoke", action="store_true",
+        "--smoke",
+        action="store_true",
         help="CI-sized run: 2000 observations, fewer repeats",
     )
     parser.add_argument(
-        "--observations", type=int, default=None,
+        "--observations",
+        type=int,
+        default=None,
         help="observation count (default: 10000, smoke: 2000)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=5,
+        "--repeats",
+        type=int,
+        default=5,
         help="timing repeats per case (median is reported; default 5)",
     )
     parser.add_argument(
-        "--output", type=Path, default=DEFAULT_OUTPUT,
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
         help=f"where to write the JSON artifact (default {DEFAULT_OUTPUT})",
     )
     parser.add_argument(
-        "--check-against", type=Path, default=None,
+        "--check-against",
+        type=Path,
+        default=None,
         help="baseline BENCH_inference.json to gate speedups against",
     )
     parser.add_argument(
-        "--max-regression", type=float, default=0.20,
+        "--max-regression",
+        type=float,
+        default=0.20,
         help="allowed fractional speedup regression vs the baseline (default 0.20)",
     )
     args = parser.parse_args(argv)

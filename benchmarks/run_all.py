@@ -24,9 +24,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--full", action="store_true", help="paper-scale sweeps (slower)"
-    )
+    parser.add_argument("--full", action="store_true", help="paper-scale sweeps (slower)")
     args = parser.parse_args(argv)
     if args.full:
         os.environ["REPRO_BENCH_SCALE"] = "full"
@@ -96,9 +94,7 @@ def main(argv=None) -> int:
     step("table2/3/5 sweep", tables_2_3_5)
 
     def table4_step() -> None:
-        _, table4_text = table4(
-            datasets, fractions=fractions, seeds=seeds, tie_margin=0.006
-        )
+        _, table4_text = table4(datasets, fractions=fractions, seeds=seeds, tie_margin=0.006)
         publish("table4_optimizer", table4_text)
 
     step("table4", table4_step)
@@ -148,9 +144,7 @@ def main(argv=None) -> int:
     step("figure7", figure7_step)
 
     def figure8_step() -> None:
-        demos_small = generate_demos(
-            n_objects=800, n_sources=200, n_copy_groups=15, seed=0
-        )
+        demos_small = generate_demos(n_objects=800, n_sources=200, n_copy_groups=15, seed=0)
         publish("figure8_copying", figure8(demos_small, seeds=(0,)).text)
 
     step("figure8", figure8_step)

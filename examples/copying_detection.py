@@ -17,9 +17,7 @@ from repro.fusion import object_value_accuracy
 
 
 def main() -> None:
-    dataset = generate_demos(
-        n_sources=200, n_objects=800, n_copy_groups=15, seed=0
-    )
+    dataset = generate_demos(n_sources=200, n_objects=800, n_copy_groups=15, seed=0)
     print(
         f"Dataset: {dataset.n_sources} news domains, {dataset.n_objects} "
         f"events, {dataset.n_observations} reports\n"
@@ -35,9 +33,7 @@ def main() -> None:
         with_copy = object_value_accuracy(
             copying_model.predict().values, dataset.ground_truth, test
         )
-        plain = SLiMFast(learner="em", use_features=False).fit_predict(
-            dataset, split.train_truth
-        )
+        plain = SLiMFast(learner="em", use_features=False).fit_predict(dataset, split.train_truth)
         without = object_value_accuracy(plain.values, dataset.ground_truth, test)
         print(f"{fraction:5.0%}  {with_copy:10.3f}  {without:12.3f}")
 

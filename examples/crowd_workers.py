@@ -40,9 +40,7 @@ def main() -> None:
         split = dataset.split(fraction, seed=0)
         fuser = SLiMFast()
         result = fuser.fit_predict(dataset, split.train_truth)
-        accuracy = object_value_accuracy(
-            result.values, dataset.ground_truth, split.test_objects
-        )
+        accuracy = object_value_accuracy(result.values, dataset.ground_truth, split.test_objects)
         decision = fuser.decision_
         print(
             f"  TD={fraction:6.1%}  choice={fuser.chosen_learner_.upper():3s} "

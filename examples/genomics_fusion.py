@@ -43,9 +43,7 @@ def main() -> None:
             object_value_accuracy(r.values, dataset.ground_truth, test)
             for r in (slimfast, feature_less, counts)
         ]
-        print(
-            f"{fraction:5.0%}  {row[0]:9.3f}  {row[1]:10.3f}  {row[2]:7.3f}"
-        )
+        print(f"{fraction:5.0%}  {row[0]:9.3f}  {row[1]:10.3f}  {row[2]:7.3f}")
 
     # Which article properties predict reliability?  Fit once with plenty
     # of labels and inspect the learned feature weights.

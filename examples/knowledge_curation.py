@@ -39,33 +39,25 @@ def main() -> None:
     # 1. Fuse.
     fuser = SLiMFast()
     result = fuser.fit_predict(dataset, split.train_truth)
-    accuracy = object_value_accuracy(
-        result.values, dataset.ground_truth, split.test_objects
-    )
+    accuracy = object_value_accuracy(result.values, dataset.ground_truth, split.test_objects)
     print(f"Fused {dataset.n_observations} claims; test accuracy = {accuracy:.3f}")
 
     # 2. Calibration and precision targeting.
     ece = expected_calibration_error(result.posteriors, test_truth)
     print(f"Expected calibration error: {ece:.3f}")
     for target in (0.90, 0.95):
-        threshold = confidence_threshold_for_precision(
-            result.posteriors, test_truth, target
-        )
+        threshold = confidence_threshold_for_precision(result.posteriors, test_truth, target)
         if threshold is None:
             print(f"  precision {target:.0%}: unreachable")
             continue
-        coverage, precision = coverage_at_threshold(
-            result.posteriors, test_truth, threshold
-        )
+        coverage, precision = coverage_at_threshold(result.posteriors, test_truth, threshold)
         print(
             f"  precision {target:.0%}: accept posteriors >= {threshold:.2f} "
             f"-> keep {coverage:.0%} of objects at {precision:.1%} precision"
         )
 
     # 3. Open-world abstention.
-    open_world = OpenWorldSLiMFast(theta=1.5).predict(
-        dataset, fuser.model_, split.train_truth
-    )
+    open_world = OpenWorldSLiMFast(theta=1.5).predict(dataset, fuser.model_, split.train_truth)
     n_abstained = len(open_world.abstained)
     resolved = {
         obj: value

@@ -28,9 +28,7 @@ def main() -> None:
     for density in (0.005, 0.02):
         for avg_accuracy in (0.55, 0.8):
             for fraction in (0.02, 0.4):
-                instance = generate(
-                    base, density=density, avg_accuracy=avg_accuracy, seed=1
-                )
+                instance = generate(base, density=density, avg_accuracy=avg_accuracy, seed=1)
                 dataset = instance.dataset
                 split = dataset.split(fraction, seed=0)
                 scores = {}
@@ -64,10 +62,7 @@ def main() -> None:
     # Theory vs measurement.
     print("\nTheoretical rates (constants = 1):")
     for n_labels in (20, 80, 320):
-        print(
-            f"  ERM bound at |G|={n_labels:4d}: "
-            f"{erm_generalization_bound(10, n_labels):.3f}"
-        )
+        print(f"  ERM bound at |G|={n_labels:4d}: " f"{erm_generalization_bound(10, n_labels):.3f}")
     print(
         f"  EM bound (S=400, O=400, p=0.01, delta=0.4, K=10): "
         f"{em_accuracy_bound(400, 400, 0.01, 0.4, 10):.3f}"

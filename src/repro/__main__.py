@@ -111,9 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuse = sub.add_parser("fuse", help="fuse a CSV dataset directory")
     fuse.add_argument("input", help="directory with observations.csv etc.")
     fuse.add_argument("output", help="directory for the fused output CSVs")
-    fuse.add_argument(
-        "--learner", choices=["auto", "erm", "em"], default="auto"
-    )
+    fuse.add_argument("--learner", choices=["auto", "erm", "em"], default="auto")
     fuse.add_argument(
         "--use-truth",
         action="store_true",

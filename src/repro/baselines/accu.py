@@ -73,16 +73,12 @@ class Accu(Fuser):
             iterations_used = iteration + 1
             posteriors = self._infer_truth(dataset, accuracies, train_truth)
             updated = self._update_accuracies(dataset, posteriors)
-            delta = max(
-                abs(updated[source] - accuracies[source]) for source in updated
-            )
+            delta = max(abs(updated[source] - accuracies[source]) for source in updated)
             accuracies = updated
             if delta < self.tolerance:
                 break
 
-        values = {
-            obj: max(dist, key=dist.get) for obj, dist in posteriors.items()
-        }
+        values = {obj: max(dist, key=dist.get) for obj, dist in posteriors.items()}
         values = self.clamp_training_values(values, train_truth)
         return FusionResult(
             values=values,
@@ -113,9 +109,7 @@ class Accu(Fuser):
         for o_idx, obj in enumerate(dataset.objects):
             domain = dataset.domain(obj)
             if obj in truth:
-                posteriors[obj] = {
-                    value: 1.0 if value == truth[obj] else 0.0 for value in domain
-                }
+                posteriors[obj] = {value: 1.0 if value == truth[obj] else 0.0 for value in domain}
                 if truth[obj] not in posteriors[obj]:
                     posteriors[obj][truth[obj]] = 1.0
                 continue

@@ -82,9 +82,7 @@ class Sstf(Fuser):
             dtype=np.int64,
         )
         n_sources = dataset.n_sources
-        source_degree = np.maximum(
-            np.bincount(obs_source, minlength=n_sources), 1
-        ).astype(float)
+        source_degree = np.maximum(np.bincount(obs_source, minlength=n_sources), 1).astype(float)
         claim_degree = np.maximum(np.bincount(obs_claim, minlength=n_claims), 1).astype(float)
 
         # Object groupings for the inhibition term.

@@ -86,9 +86,7 @@ class TruthFinder(Fuser):
         )
 
         n_sources = dataset.n_sources
-        source_degree = np.maximum(
-            np.bincount(obs_source, minlength=n_sources), 1
-        ).astype(float)
+        source_degree = np.maximum(np.bincount(obs_source, minlength=n_sources), 1).astype(float)
 
         anchored = np.zeros(n_claims, dtype=bool)
         anchor = np.zeros(n_claims)
@@ -105,9 +103,7 @@ class TruthFinder(Fuser):
             tau = -np.log(np.clip(1.0 - trust, _EPS, 1.0))
             raw = np.bincount(obs_claim, weights=tau[obs_source], minlength=n_claims)
             # Competing-claim adjustment within each object.
-            object_total = np.bincount(
-                object_of_claim, weights=raw, minlength=dataset.n_objects
-            )
+            object_total = np.bincount(object_of_claim, weights=raw, minlength=dataset.n_objects)
             adjusted = raw - self.rho * (object_total[object_of_claim] - raw)
             confidence = 1.0 / (1.0 + np.exp(-self.gamma * adjusted))
             confidence = np.where(anchored, anchor, confidence)

@@ -187,6 +187,4 @@ def estimate_source_accuracies_rank1(
             break
 
     accuracies = (mu + 1.0) / 2.0
-    return {
-        source: float(accuracies[i]) for i, source in enumerate(dataset.sources)
-    }
+    return {source: float(accuracies[i]) for i, source in enumerate(dataset.sources)}

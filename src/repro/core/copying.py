@@ -294,9 +294,7 @@ class CopyingSLiMFast:
         self._truth: Dict[ObjectId, Value] = {}
 
     # ------------------------------------------------------------------
-    def fit(
-        self, dataset: FusionDataset, truth: Mapping[ObjectId, Value]
-    ) -> "CopyingSLiMFast":
+    def fit(self, dataset: FusionDataset, truth: Mapping[ObjectId, Value]) -> "CopyingSLiMFast":
         """Fit the trust model and the copying weights."""
         if not truth and self.learner == "erm":
             raise DatasetError("CopyingSLiMFast(learner='erm') requires ground truth")
@@ -339,15 +337,11 @@ class CopyingSLiMFast:
         # Copying weights are discounts: constrained non-negative, so a
         # spurious candidate pair can be zeroed but never *amplify* the
         # double-counted vote.
-        return minimize_lbfgs(
-            objective, w0=warm, bounds=[(0.0, None)] * len(self.pairs_)
-        ).w
+        return minimize_lbfgs(objective, w0=warm, bounds=[(0.0, None)] * len(self.pairs_)).w
 
     def _fit_erm(self, dataset: FusionDataset, structure: PairStructure) -> None:
         """ERM mode: trust frozen from labels, pairs from conditional fit."""
-        erm = ERMLearner(
-            ERMConfig(use_features=self.use_features, l2_sources=self.l2_sources)
-        )
+        erm = ERMLearner(ERMConfig(use_features=self.use_features, l2_sources=self.l2_sources))
         self.model_ = erm.fit(dataset, self._truth)
         if not self.pairs_:
             return
@@ -360,9 +354,7 @@ class CopyingSLiMFast:
             if np.array_equal(imputed, labels):
                 break
             labels = imputed
-            self.pair_weights_ = self._fit_pairs(
-                fixed_scores, labels, self.pair_weights_
-            )
+            self.pair_weights_ = self._fit_pairs(fixed_scores, labels, self.pair_weights_)
 
     def _fit_em(self, dataset: FusionDataset, structure: PairStructure) -> None:
         """EM mode: alternate copying-aware E-steps with trust M-steps.
@@ -405,18 +397,14 @@ class CopyingSLiMFast:
             # Refit pair weights against the labels under the new trust.
             if self.pairs_ and self._truth:
                 fixed_scores = pair_scores(structure, model.trust_scores())
-                self.pair_weights_ = self._fit_pairs(
-                    fixed_scores, clamped_rows, self.pair_weights_
-                )
+                self.pair_weights_ = self._fit_pairs(fixed_scores, clamped_rows, self.pair_weights_)
 
             current_acc = model.accuracies()
             if float(np.mean(np.abs(current_acc - previous_acc))) < 1e-4:
                 break
             previous_acc = current_acc
 
-        self.model_ = model_from_flat(
-            w, dataset, design, space if self.use_features else None
-        )
+        self.model_ = model_from_flat(w, dataset, design, space if self.use_features else None)
 
     # ------------------------------------------------------------------
     def _extra_scores_for(self, pair_weights: np.ndarray) -> np.ndarray:
@@ -434,12 +422,8 @@ class CopyingSLiMFast:
         return self._extra_scores_for(self.pair_weights_)
 
     def _row_posteriors(self) -> np.ndarray:
-        scores = pair_scores(
-            self._structure, self.model_.trust_scores(), self._extra_scores()
-        )
-        return segment_softmax(
-            scores, self._structure.pair_object_pos, self._structure.n_objects
-        )
+        scores = pair_scores(self._structure, self.model_.trust_scores(), self._extra_scores())
+        return segment_softmax(scores, self._structure.pair_object_pos, self._structure.n_objects)
 
     def _map_rows(self, clamped_rows: np.ndarray) -> np.ndarray:
         probs = self._row_posteriors()
@@ -468,9 +452,7 @@ class CopyingSLiMFast:
                 dist = {structure.pair_values[row]: 0.0 for row in rows}
                 dist[self._truth[obj]] = 1.0
             else:
-                dist = {
-                    structure.pair_values[row]: float(probs[row]) for row in rows
-                }
+                dist = {structure.pair_values[row]: float(probs[row]) for row in rows}
             posteriors[obj] = dist
             values[obj] = max(dist, key=dist.get)
         return FusionResult(

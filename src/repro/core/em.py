@@ -115,9 +115,7 @@ class EMLearner:
         vectorized = self.config.backend == "vectorized"
         if design is None or feature_space is None:
             if vectorized:
-                design, feature_space = encode_dataset(dataset).design(
-                    self.config.use_features
-                )
+                design, feature_space = encode_dataset(dataset).design(self.config.use_features)
             else:
                 design, feature_space = build_design_matrix(
                     dataset, use_features=self.config.use_features
@@ -131,9 +129,7 @@ class EMLearner:
         # mean* accuracy instead of toward 0.5.  Without it, sparse
         # instances (few observations per source) collapse to the
         # degenerate all-0.5 fixed point.
-        w = np.concatenate(
-            [self._initial_weights(dataset, truth, design, feature_space), [0.0]]
-        )
+        w = np.concatenate([self._initial_weights(dataset, truth, design, feature_space), [0.0]])
         model = model_from_flat(w, dataset, design, feature_space, intercept=True)
 
         deltas: List[float] = []
@@ -143,7 +139,9 @@ class EMLearner:
         for _ in range(self.config.max_iterations):
             # E-step: soft correctness of each observation.
             q_obs, _ = expected_correctness(
-                structure, model.trust_scores(), label_rows,
+                structure,
+                model.trust_scores(),
+                label_rows,
                 backend=self.config.backend,
             )
 
@@ -153,9 +151,7 @@ class EMLearner:
                     structure.obs_source_idx, q_obs, dataset.n_sources
                 )
             else:
-                source_idx, labels, sample_weights = (
-                    structure.obs_source_idx, q_obs, None
-                )
+                source_idx, labels, sample_weights = (structure.obs_source_idx, q_obs, None)
             objective = CorrectnessObjective(
                 source_idx=source_idx,
                 labels=labels,
@@ -186,9 +182,7 @@ class EMLearner:
                 converged = True
                 break
 
-        self.trace_ = EMTrace(
-            accuracy_deltas=deltas, n_iterations=len(deltas), converged=converged
-        )
+        self.trace_ = EMTrace(accuracy_deltas=deltas, n_iterations=len(deltas), converged=converged)
         final_space = feature_space if self.config.use_features else None
         return model_from_flat(w, dataset, design, final_space, intercept=True)
 
@@ -221,9 +215,7 @@ class EMLearner:
             # the labeled sources do not cover.
             if self.config.backend == "vectorized":
                 labeled, _ = encode_dataset(dataset).truth_codes(truth)
-                labeled_sources = np.unique(
-                    dataset.obs_source_idx[labeled[dataset.obs_object_idx]]
-                )
+                labeled_sources = np.unique(dataset.obs_source_idx[labeled[dataset.obs_object_idx]])
             else:
                 labeled_sources = {
                     dataset.sources.index(obs.source)

@@ -106,9 +106,7 @@ def correctness_training_pairs(
     object_idx = dataset.obs_object_idx
     rows = np.flatnonzero(labeled[object_idx])
     source_idx = dataset.obs_source_idx[rows]
-    label_values = (
-        dataset.obs_value_idx[rows] == codes[object_idx[rows]]
-    ).astype(float)
+    label_values = (dataset.obs_value_idx[rows] == codes[object_idx[rows]]).astype(float)
     return source_idx, label_values
 
 
@@ -145,9 +143,7 @@ class ERMLearner:
             raise DatasetError("ERM requires at least one ground-truth label")
         if design is None or feature_space is None:
             if self.config.backend == "vectorized":
-                design, feature_space = encode_dataset(dataset).design(
-                    self.config.use_features
-                )
+                design, feature_space = encode_dataset(dataset).design(self.config.use_features)
             else:
                 design, feature_space = build_design_matrix(
                     dataset, use_features=self.config.use_features
@@ -177,9 +173,7 @@ class ERMLearner:
         truth: Mapping[ObjectId, Value],
         design: np.ndarray,
     ) -> CorrectnessObjective:
-        source_idx, labels = correctness_training_pairs(
-            dataset, truth, backend=self.config.backend
-        )
+        source_idx, labels = correctness_training_pairs(dataset, truth, backend=self.config.backend)
         if source_idx.size == 0:
             raise DatasetError("no observations overlap the provided ground truth")
         sample_weights = None
@@ -208,9 +202,7 @@ class ERMLearner:
         labeled_objects = [obj for obj in dataset.objects if obj in truth]
         if not labeled_objects:
             raise DatasetError("no labeled objects found in the dataset")
-        structure = build_pair_structure(
-            dataset, labeled_objects, backend=self.config.backend
-        )
+        structure = build_pair_structure(dataset, labeled_objects, backend=self.config.backend)
         label_rows = structure.label_rows(dict(truth))
         return ConditionalObjective(
             design=design,

@@ -64,11 +64,7 @@ def em_accuracy_bound(
         return float("inf")
     so = float(n_sources) * float(n_objects)
     first = np.log(max(n_objects, 2)) / (n_sources * delta)
-    second = (
-        np.sqrt(max(n_features, 1) / (so * density))
-        * np.log(max(so, 2)) ** 2
-        / delta
-    )
+    second = (np.sqrt(max(n_features, 1) / (so * density)) * np.log(max(so, 2)) ** 2 / delta)
     return float(first + second)
 
 

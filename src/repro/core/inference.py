@@ -107,9 +107,7 @@ def posteriors(
                 dist[known] = 1.0
                 result[obj] = dist
             else:
-                result[obj] = {
-                    structure.pair_values[row]: float(probs[row]) for row in rows
-                }
+                result[obj] = {structure.pair_values[row]: float(probs[row]) for row in rows}
         return result
     return package_posteriors(structure, probs, clamp)
 
@@ -144,9 +142,7 @@ def package_posteriors(
     return result
 
 
-def map_assignment(
-    posterior: Mapping[ObjectId, Mapping[Value, float]]
-) -> Dict[ObjectId, Value]:
+def map_assignment(posterior: Mapping[ObjectId, Mapping[Value, float]]) -> Dict[ObjectId, Value]:
     """Maximum-a-posteriori value per object (the fusion output ``v_o``).
 
     Ties break toward the first value in domain order, which is the

@@ -51,10 +51,7 @@ def predict_unseen_accuracies(
     features_by_source: Mapping[SourceId, Mapping[str, object]],
 ) -> Dict[SourceId, float]:
     """Predict accuracies for sources absent from the fitted model."""
-    return {
-        source: model.predict_accuracy(feats)
-        for source, feats in features_by_source.items()
-    }
+    return {source: model.predict_accuracy(feats) for source, feats in features_by_source.items()}
 
 
 def evaluate_initialization(
@@ -106,9 +103,7 @@ def evaluate_initialization(
 
     if not predictions:
         raise DatasetError("no held-out source had both features and ground truth")
-    error = float(
-        np.mean([abs(predictions[s] - reference[s]) for s in predictions])
-    )
+    error = float(np.mean([abs(predictions[s] - reference[s]) for s in predictions]))
     return InitializationReport(
         fraction_used=fraction_used,
         predictions=predictions,

@@ -68,10 +68,7 @@ class LassoPath:
 
     def final_weights(self) -> Dict[str, float]:
         """Feature weights at the weakest penalty, keyed by label."""
-        return {
-            label: float(self.weights[-1, j])
-            for j, label in enumerate(self.feature_labels)
-        }
+        return {label: float(self.weights[-1, j]) for j, label in enumerate(self.feature_labels)}
 
     def important_features(self, top: int = 5) -> List[str]:
         """The ``top`` earliest-activating features."""

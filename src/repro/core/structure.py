@@ -137,16 +137,12 @@ def _build_vectorized(
         )
 
     object_ids = list(objects)
-    selected = np.asarray(
-        [dataset.objects.index(obj) for obj in object_ids], dtype=np.int64
-    )
+    selected = np.asarray([dataset.objects.index(obj) for obj in object_ids], dtype=np.int64)
     domain_sizes = encoding.domain_sizes[selected]
     pair_offsets = np.concatenate(
         [np.zeros(1, dtype=np.int64), np.cumsum(domain_sizes, dtype=np.int64)]
     )
-    pair_object_pos = np.repeat(
-        np.arange(len(object_ids), dtype=np.int64), domain_sizes
-    )
+    pair_object_pos = np.repeat(np.arange(len(object_ids), dtype=np.int64), domain_sizes)
     all_values = encoding.pair_values
     pair_values: List[Value] = []
     for o_idx in selected:
@@ -156,9 +152,7 @@ def _build_vectorized(
     obs_starts = encoding.obs_offsets[selected]
     obs_lengths = encoding.obs_offsets[selected + 1] - obs_starts
     positions = expand_spans(obs_starts, obs_lengths)
-    obs_object_pos = np.repeat(
-        np.arange(len(object_ids), dtype=np.int64), obs_lengths
-    )
+    obs_object_pos = np.repeat(np.arange(len(object_ids), dtype=np.int64), obs_lengths)
     obs_pair_idx = pair_offsets[obs_object_pos] + encoding.obs_value_code[positions]
     base_scores = np.bincount(
         obs_pair_idx,

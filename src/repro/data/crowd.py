@@ -73,9 +73,13 @@ def generate_crowd(
     rng = np.random.default_rng(seed)
 
     channel_names = list(CHANNELS)
-    worker_channel = [channel_names[int(rng.integers(len(channel_names)))] for _ in range(n_workers)]
+    worker_channel = [
+        channel_names[int(rng.integers(len(channel_names)))] for _ in range(n_workers)
+    ]
     country_names = list(COUNTRIES)
-    worker_country = [country_names[int(rng.integers(len(country_names)))] for _ in range(n_workers)]
+    worker_country = [
+        country_names[int(rng.integers(len(country_names)))] for _ in range(n_workers)
+    ]
     worker_city = [CITIES[int(rng.integers(len(CITIES)))] for _ in range(n_workers)]
 
     logits = np.asarray(

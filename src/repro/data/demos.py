@@ -122,9 +122,7 @@ def generate_demos(
         if obj in covered:
             continue
         source = int(rng.integers(n_sources))
-        value = (
-            true_values[obj] if rng.random() < accuracies[source] else wrong_value(rng, obj)
-        )
+        value = (true_values[obj] if rng.random() < accuracies[source] else wrong_value(rng, obj))
         claims[(source, obj)] = value
     ensure_truth_claimed(rng, claims, true_values, n_objects)
 

@@ -58,12 +58,8 @@ def generate_genomics(
     """Generate the simulated Genomics dataset."""
     rng = np.random.default_rng(seed)
 
-    study = [
-        list(STUDY_TYPES)[int(rng.integers(len(STUDY_TYPES)))] for _ in range(n_sources)
-    ]
-    journal = [
-        list(JOURNAL_TIERS)[int(rng.integers(len(JOURNAL_TIERS)))] for _ in range(n_sources)
-    ]
+    study = [list(STUDY_TYPES)[int(rng.integers(len(STUDY_TYPES)))] for _ in range(n_sources)]
+    journal = [list(JOURNAL_TIERS)[int(rng.integers(len(JOURNAL_TIERS)))] for _ in range(n_sources)]
     citations = rng.lognormal(mean=2.5, sigma=1.2, size=n_sources).astype(int)
     pub_year = rng.integers(1995, 2016, size=n_sources)
     authors = [f"author-{int(rng.integers(n_authors))}" for _ in range(n_sources)]

@@ -42,9 +42,7 @@ def feature_driven_accuracies(
     return np.clip(accuracies, *clip)
 
 
-def quantile_levels(
-    values: np.ndarray, n_levels: int, prefix: str = "Q"
-) -> List[str]:
+def quantile_levels(values: np.ndarray, n_levels: int, prefix: str = "Q") -> List[str]:
     """Discretize numeric values into ``n_levels`` quantile labels.
 
     Simulators pre-discretize their numeric metadata (the paper does the

@@ -180,9 +180,7 @@ def generate(config: Optional[SyntheticConfig] = None, **overrides: object) -> S
     # Followers: replicate the leader's claims with given fidelity, plus
     # their own independent draws elsewhere.
     for leader, members in followers_of.items():
-        leader_claims = {
-            obj: value for (src, obj), value in claims.items() if src == leader
-        }
+        leader_claims = {obj: value for (src, obj), value in claims.items() if src == leader}
         for member in members:
             for obj, value in leader_claims.items():
                 if rng.random() < config.copy_fidelity:

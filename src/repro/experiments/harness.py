@@ -50,9 +50,7 @@ def run_method(
     result = runner(dataset, split.train_truth)
     runtime = time.perf_counter() - started
 
-    accuracy = object_value_accuracy(
-        result.values, dataset.ground_truth, split.test_objects
-    )
+    accuracy = object_value_accuracy(result.values, dataset.ground_truth, split.test_objects)
     if result.source_accuracies is not None:
         source_error = dataset_source_accuracy_error(dataset, result.source_accuracies)
     else:

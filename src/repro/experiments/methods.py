@@ -29,9 +29,7 @@ from ..fusion.dataset import FusionDataset
 from ..fusion.result import FusionResult
 from ..fusion.types import ObjectId, Value
 
-MethodRunner = Callable[
-    [FusionDataset, Optional[Mapping[ObjectId, Value]]], FusionResult
-]
+MethodRunner = Callable[[FusionDataset, Optional[Mapping[ObjectId, Value]]], FusionResult]
 
 
 def _slimfast_runner(**kwargs: object) -> MethodRunner:

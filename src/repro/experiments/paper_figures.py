@@ -41,9 +41,7 @@ def lasso_figure(dataset: FusionDataset, n_penalties: int = 25, top: int = 8) ->
     order = path.activation_order()
     final = path.final_weights()
     headers = ["Activation rank", "Feature", "Final weight"]
-    rows = [
-        [rank + 1, label, final.get(label, 0.0)] for rank, label in enumerate(order[:top])
-    ]
+    rows = [[rank + 1, label, final.get(label, 0.0)] for rank, label in enumerate(order[:top])]
     text = format_table(
         headers, rows, title=f"Lasso path on {dataset.name}: most predictive features"
     )
@@ -65,12 +63,8 @@ def figure7(
     headers = ["Sources used (%)"] + list(curves)
     rows: List[List[object]] = []
     for fraction in fractions:
-        rows.append(
-            [f"{fraction * 100:g}"] + [curves[name][fraction] for name in curves]
-        )
-    text = format_table(
-        headers, rows, title="Figure 7: accuracy error for unseen sources"
-    )
+        rows.append([f"{fraction * 100:g}"] + [curves[name][fraction] for name in curves])
+    text = format_table(headers, rows, title="Figure 7: accuracy error for unseen sources")
     return curves, text
 
 
@@ -110,18 +104,14 @@ def figure8(
             copying.fit(dataset, split.train_truth)
             result = copying.predict()
             scores_with.append(
-                object_value_accuracy(
-                    result.values, dataset.ground_truth, split.test_objects
-                )
+                object_value_accuracy(result.values, dataset.ground_truth, split.test_objects)
             )
             last_model = copying
             plain = SLiMFast(learner="erm", use_features=False).fit_predict(
                 dataset, split.train_truth
             )
             scores_without.append(
-                object_value_accuracy(
-                    plain.values, dataset.ground_truth, split.test_objects
-                )
+                object_value_accuracy(plain.values, dataset.ground_truth, split.test_objects)
             )
         with_copy[fraction] = float(np.mean(scores_with))
         without[fraction] = float(np.mean(scores_without))
@@ -133,9 +123,7 @@ def figure8(
     )[:top]
 
     headers = ["TD (%)", "w. Copying", "w.o. Copying"]
-    rows = [
-        [f"{f * 100:g}", with_copy[f], without[f]] for f in fractions
-    ]
+    rows = [[f"{f * 100:g}", with_copy[f], without[f]] for f in fractions]
     blocks = [format_table(headers, rows, title="Figure 8: copying detection")]
     pair_rows = [[a, b, w] for a, b, w in top_pairs]
     blocks.append(

@@ -85,16 +85,12 @@ def run_sweep(
 
 def table2(report: SweepReport) -> str:
     """Table 2 Panel A: object-value accuracy per dataset/method/fraction."""
-    return "Table 2 (Panel A): object-value accuracy\n\n" + report.panel(
-        "object_accuracy"
-    )
+    return "Table 2 (Panel A): object-value accuracy\n\n" + report.panel("object_accuracy")
 
 
 def table2_panel_b(report: SweepReport, reference: str = "slimfast") -> str:
     """Table 2 Panel B: average relative accuracy difference vs SLiMFast."""
-    headers = ["TD (%)", reference] + [
-        m for m in report.methods if m != reference
-    ]
+    headers = ["TD (%)", reference] + [m for m in report.methods if m != reference]
     rows: List[List[object]] = []
     for fraction in report.fractions:
         ref_scores = [
@@ -120,9 +116,7 @@ def table2_panel_b(report: SweepReport, reference: str = "slimfast") -> str:
                 )
             row.append(f"{np.mean(diffs):+.2f}%" if diffs else "-")
         rows.append(row)
-    return format_table(
-        headers, rows, title="Table 2 (Panel B): relative difference vs SLiMFast"
-    )
+    return format_table(headers, rows, title="Table 2 (Panel B): relative difference vs SLiMFast")
 
 
 def table3(report: SweepReport, methods: Sequence[str] = TABLE3_METHODS) -> str:
@@ -134,18 +128,14 @@ def table3(report: SweepReport, methods: Sequence[str] = TABLE3_METHODS) -> str:
     blocks = []
     for dataset in report.datasets:
         blocks.append(
-            accuracy_matrix(
-                report.cells, dataset, list(methods), report.fractions, "source_error"
-            )
+            accuracy_matrix(report.cells, dataset, list(methods), report.fractions, "source_error")
         )
     return "Table 3: source-accuracy estimation error\n\n" + "\n\n".join(blocks)
 
 
 def table5(report: SweepReport) -> str:
     """Table 5: end-to-end wall-clock runtime per method."""
-    return "Table 5: wall-clock runtimes (seconds)\n\n" + report.panel(
-        "runtime_seconds"
-    )
+    return "Table 5: wall-clock runtimes (seconds)\n\n" + report.panel("runtime_seconds")
 
 
 # ----------------------------------------------------------------------
@@ -191,9 +181,7 @@ def table4(
                     decide(dataset, split.train_truth, design.shape[1], tau=tau).algorithm
                 )
                 for learner, scores in (("erm", erm_scores), ("em", em_scores)):
-                    result = SLiMFast(learner=learner).fit_predict(
-                        dataset, split.train_truth
-                    )
+                    result = SLiMFast(learner=learner).fit_predict(dataset, split.train_truth)
                     scores.append(
                         object_value_accuracy(
                             result.values, dataset.ground_truth, split.test_objects
@@ -259,9 +247,7 @@ def table6(
             started = time.perf_counter()
             fuser.fit_predict(dataset, split.train_truth)
             total = time.perf_counter() - started
-            learn_inf = fuser.timings_.get("learning", 0.0) + fuser.timings_.get(
-                "inference", 0.0
-            )
+            learn_inf = fuser.timings_.get("learning", 0.0) + fuser.timings_.get("inference", 0.0)
             row += [total, learn_inf]
         rows.append(row)
     return format_table(

@@ -7,13 +7,15 @@ from typing import List, Mapping, Sequence
 from .harness import CellKey, CellStats
 
 
-def format_table(
-    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
-) -> str:
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
     """Monospace table with per-column width fitting."""
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
     widths = [
-        max(len(str(headers[i])), *(len(row[i]) for row in str_rows)) if str_rows else len(str(headers[i]))
+        (
+            max(len(str(headers[i])), *(len(row[i]) for row in str_rows))
+            if str_rows
+            else len(str(headers[i]))
+        )
         for i in range(len(headers))
     ]
     lines: List[str] = []
@@ -55,9 +57,7 @@ def accuracy_matrix(
     return format_table(headers, rows, title=f"{dataset} — {metric}")
 
 
-def series(
-    points: Mapping[float, float], x_label: str, y_label: str, title: str = ""
-) -> str:
+def series(points: Mapping[float, float], x_label: str, y_label: str, title: str = "") -> str:
     """Render an (x, y) series — one paper figure curve — as a table."""
     headers = [x_label, y_label]
     rows = [[f"{x:g}", y] for x, y in sorted(points.items())]

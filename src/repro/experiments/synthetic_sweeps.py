@@ -67,9 +67,7 @@ def _em_vs_erm(
                 learner=learner, use_features=False, erm_config=erm_config
             ).fit_predict(dataset, split.train_truth)
             scores.append(
-                object_value_accuracy(
-                    result.values, dataset.ground_truth, split.test_objects
-                )
+                object_value_accuracy(result.values, dataset.ground_truth, split.test_objects)
             )
     return float(np.mean(em_scores)), float(np.mean(erm_scores))
 

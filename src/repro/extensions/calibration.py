@@ -95,10 +95,7 @@ def expected_calibration_error(
     if total == 0:
         return float("nan")
     return float(
-        sum(
-            point.count * abs(point.mean_confidence - point.accuracy)
-            for point in points
-        )
+        sum(point.count * abs(point.mean_confidence - point.accuracy) for point in points)
         / total
     )
 
@@ -115,9 +112,7 @@ def confidence_threshold_for_precision(
     at or above the target.  Returns ``None`` when even the most confident
     predictions miss the target.
     """
-    pairs = sorted(
-        _predictions_with_confidence(posteriors, truth), key=lambda p: -p[0]
-    )
+    pairs = sorted(_predictions_with_confidence(posteriors, truth), key=lambda p: -p[0])
     if not pairs:
         return None
     best: Optional[float] = None
@@ -140,7 +135,5 @@ def coverage_at_threshold(
         return 0.0, float("nan")
     accepted = [(c, ok) for c, ok in pairs if c >= threshold]
     coverage = len(accepted) / len(pairs)
-    precision = (
-        float(np.mean([int(ok) for _, ok in accepted])) if accepted else float("nan")
-    )
+    precision = (float(np.mean([int(ok) for _, ok in accepted])) if accepted else float("nan"))
     return coverage, precision

@@ -39,9 +39,7 @@ class ClassAwareResult:
     """
 
     result: FusionResult
-    class_accuracies: Dict[ClassId, Dict[SourceId, float]] = field(
-        default_factory=dict
-    )
+    class_accuracies: Dict[ClassId, Dict[SourceId, float]] = field(default_factory=dict)
 
     def accuracy_of(self, source: SourceId, cls: ClassId) -> Optional[float]:
         """Accuracy of ``source`` within ``cls`` (None if not active there)."""
@@ -126,9 +124,7 @@ class ClassAwareSLiMFast:
 
         for cls, objects in partitions.items():
             class_dataset = self._restrict(dataset, objects)
-            class_truth = {
-                obj: value for obj, value in train_truth.items() if obj in set(objects)
-            }
+            class_truth = {obj: value for obj, value in train_truth.items() if obj in set(objects)}
             fuser = SLiMFast(**self.slimfast_kwargs)
             result = fuser.fit_predict(class_dataset, class_truth)
             self.fusers_[cls] = fuser
@@ -141,9 +137,7 @@ class ClassAwareSLiMFast:
         combined = FusionResult(
             values=values,
             posteriors=posteriors,
-            source_accuracies={
-                source: float(np.mean(accs)) for source, accs in pooled.items()
-            },
+            source_accuracies={source: float(np.mean(accs)) for source, accs in pooled.items()},
             method="slimfast-class-aware",
             diagnostics={"n_classes": len(partitions)},
         )

@@ -72,10 +72,7 @@ def open_world_posteriors(
         rows = structure.rows_of(position)
         block = np.concatenate([scores[rows.start : rows.stop], [theta]])
         probs = softmax(block)
-        dist = {
-            structure.pair_values[row]: float(probs[i])
-            for i, row in enumerate(rows)
-        }
+        dist = {structure.pair_values[row]: float(probs[i]) for i, row in enumerate(rows)}
         dist[UNKNOWN] = float(probs[-1])
         posteriors[obj] = dist
     return posteriors
@@ -138,21 +135,15 @@ class OpenWorldSLiMFast:
         theta = self.theta
         if theta is None:
             if not truth:
-                raise ValueError(
-                    "theta is unset and no ground truth was given to calibrate it"
-                )
+                raise ValueError("theta is unset and no ground truth was given to calibrate it")
             theta = calibrate_theta(dataset, model, truth)
         posteriors = open_world_posteriors(dataset, model, theta)
-        values = {
-            obj: max(dist, key=dist.get) for obj, dist in posteriors.items()
-        }
+        values = {obj: max(dist, key=dist.get) for obj, dist in posteriors.items()}
         if truth:
             for obj, expected in truth.items():
                 if obj in values:
                     values[obj] = expected
-        abstained = frozenset(
-            obj for obj, value in values.items() if value == UNKNOWN
-        )
+        abstained = frozenset(obj for obj, value in values.items() if value == UNKNOWN)
         result = FusionResult(
             values=values,
             posteriors=posteriors,

@@ -120,9 +120,7 @@ def compile_with_copying(
         for obj in claims_a.keys() & claims_b.keys():
             if claims_a[obj] != claims_b[obj]:
                 continue
-            graph.add_factor(
-                [("T", obj)], not_equal(claims_a[obj]), weight_id=weight_id
-            )
+            graph.add_factor([("T", obj)], not_equal(claims_a[obj]), weight_id=weight_id)
     return compiled
 
 

@@ -53,9 +53,7 @@ class GibbsResult:
 
     def map_assignment(self) -> Dict[Hashable, Hashable]:
         """Most probable value per variable under the marginals."""
-        return {
-            name: max(dist, key=dist.get) for name, dist in self.marginals.items()
-        }
+        return {name: max(dist, key=dist.get) for name, dist in self.marginals.items()}
 
 
 @dataclass
@@ -108,12 +106,8 @@ def compile_unary_score_tables(graph: FactorGraph) -> UnaryScoreTables:
     scores = np.empty(int(offsets[-1]), dtype=float)
     empty_assignment: Dict[Hashable, Hashable] = {}
     for i, variable in enumerate(latent):
-        scores[offsets[i] : offsets[i + 1]] = graph.local_scores(
-            variable.name, empty_assignment
-        )
-    return UnaryScoreTables(
-        names=names, domains=domains, offsets=offsets, scores=scores
-    )
+        scores[offsets[i] : offsets[i + 1]] = graph.local_scores(variable.name, empty_assignment)
+    return UnaryScoreTables(names=names, domains=domains, offsets=offsets, scores=scores)
 
 
 class GibbsSampler:
@@ -146,9 +140,7 @@ class GibbsSampler:
         if n_samples < 1:
             raise ValueError("n_samples must be positive")
         if backend not in GIBBS_BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; expected one of {GIBBS_BACKENDS}"
-            )
+            raise ValueError(f"unknown backend {backend!r}; expected one of {GIBBS_BACKENDS}")
         self.n_samples = n_samples
         self.burn_in = burn_in
         self.seed = seed
@@ -167,9 +159,7 @@ class GibbsSampler:
         preserves warm-restart semantics by using the reference sweeps
         whenever an ``initial_state`` is supplied.
         """
-        if self.backend == "vectorized" or (
-            self.backend == "auto" and initial_state is None
-        ):
+        if self.backend == "vectorized" or (self.backend == "auto" and initial_state is None):
             try:
                 tables = compile_unary_score_tables(graph)
             except GraphError:
@@ -194,9 +184,7 @@ class GibbsSampler:
             return GibbsResult(marginals={}, last_state={}, n_samples=self.n_samples)
 
         offsets = tables.offsets
-        segment_idx = np.repeat(
-            np.arange(n_vars, dtype=np.int64), np.diff(offsets)
-        )
+        segment_idx = np.repeat(np.arange(n_vars, dtype=np.int64), np.diff(offsets))
         probs = segment_softmax(tables.scores, segment_idx, n_vars)
         cdf = np.cumsum(probs)
         # Exclusive cumulative mass at each variable's first row; each
@@ -219,9 +207,7 @@ class GibbsSampler:
                 for j, value in enumerate(domain)
             }
             last_state[name] = domain[int(rows[-1, i]) - start]
-        return GibbsResult(
-            marginals=marginals, last_state=last_state, n_samples=self.n_samples
-        )
+        return GibbsResult(marginals=marginals, last_state=last_state, n_samples=self.n_samples)
 
     # ------------------------------------------------------------------
     def _run_reference(
@@ -261,6 +247,4 @@ class GibbsSampler:
                 value: float(counts[variable.name][i] / total)
                 for i, value in enumerate(variable.domain)
             }
-        return GibbsResult(
-            marginals=marginals, last_state=dict(state), n_samples=self.n_samples
-        )
+        return GibbsResult(marginals=marginals, last_state=dict(state), n_samples=self.n_samples)

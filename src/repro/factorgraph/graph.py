@@ -53,9 +53,7 @@ class Variable:
         if not self.domain:
             raise GraphError(f"variable {self.name!r} has an empty domain")
         if self.observed is not None and self.observed not in self.domain:
-            raise GraphError(
-                f"evidence {self.observed!r} outside the domain of {self.name!r}"
-            )
+            raise GraphError(f"evidence {self.observed!r} outside the domain of {self.name!r}")
 
     @property
     def cardinality(self) -> int:
@@ -157,9 +155,7 @@ class FactorGraph:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
-    def local_scores(
-        self, name: Hashable, assignment: Dict[Hashable, Hashable]
-    ) -> np.ndarray:
+    def local_scores(self, name: Hashable, assignment: Dict[Hashable, Hashable]) -> np.ndarray:
         """Unnormalized log-scores of each value of ``name`` given the rest.
 
         Only adjacent factors are evaluated; all other variables are read
@@ -188,9 +184,7 @@ class FactorGraph:
             total += self.weights[factor.weight_id] * factor.feature(args)
         return total
 
-    def _resolve(
-        self, name: Hashable, assignment: Dict[Hashable, Hashable]
-    ) -> Hashable:
+    def _resolve(self, name: Hashable, assignment: Dict[Hashable, Hashable]) -> Hashable:
         variable = self._variables[name]
         if variable.observed is not None:
             return variable.observed

@@ -74,11 +74,7 @@ class PseudoLikelihoodLearner:
         evidence = [v for v in graph.variables if v.observed is not None]
         if not evidence:
             raise ValueError("pseudo-likelihood learning requires evidence variables")
-        learnable = (
-            set(learnable_ids)
-            if learnable_ids is not None
-            else set(graph.weights.keys())
-        )
+        learnable = (set(learnable_ids) if learnable_ids is not None else set(graph.weights.keys()))
 
         rng = np.random.default_rng(self.seed)
         grad_sq: Dict[Hashable, float] = {wid: 0.0 for wid in learnable}

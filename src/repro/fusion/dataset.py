@@ -256,7 +256,11 @@ class FusionDataset:
         }
         counts = self.source_observation_counts()
         avg_acc: Optional[float] = None
-        if self.ground_truth and counts.size and float(np.mean(counts)) >= min_source_observations_for_acc:
+        if (
+            self.ground_truth
+            and counts.size
+            and float(np.mean(counts)) >= min_source_observations_for_acc
+        ):
             accs = self.empirical_accuracies()
             if accs:
                 avg_acc = float(np.mean(list(accs.values())))
@@ -301,9 +305,7 @@ def subset_sources(dataset: FusionDataset, keep: Sequence[SourceId]) -> FusionDa
     source_features = {
         src: feats for src, feats in dataset.source_features.items() if src in keep_set
     }
-    true_accuracies = {
-        src: acc for src, acc in dataset.true_accuracies.items() if src in keep_set
-    }
+    true_accuracies = {src: acc for src, acc in dataset.true_accuracies.items() if src in keep_set}
     return FusionDataset(
         observations,
         ground_truth=ground_truth,

@@ -49,9 +49,7 @@ VALID_BACKENDS = ("vectorized", "reference")
 def check_backend(backend: str) -> str:
     """Validate a ``backend`` switch value, returning it unchanged."""
     if backend not in VALID_BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {VALID_BACKENDS}"
-        )
+        raise ValueError(f"unknown backend {backend!r}; expected one of {VALID_BACKENDS}")
     return backend
 
 
@@ -132,17 +130,11 @@ class DenseEncoding:
         self.pair_offsets = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(self.domain_sizes, dtype=np.int64)]
         )
-        self.pair_object_idx = np.repeat(
-            np.arange(n_objects, dtype=np.int64), self.domain_sizes
-        )
-        self.pair_value_code = expand_spans(
-            np.zeros(n_objects, dtype=np.int64), self.domain_sizes
-        )
+        self.pair_object_idx = np.repeat(np.arange(n_objects, dtype=np.int64), self.domain_sizes)
+        self.pair_value_code = expand_spans(np.zeros(n_objects, dtype=np.int64), self.domain_sizes)
         self.obs_pair_idx = self.pair_offsets[self.obs_object_idx] + self.obs_value_code
 
-        self.log_alternatives = np.log(
-            np.maximum(self.domain_sizes - 1, 1).astype(float)
-        )
+        self.log_alternatives = np.log(np.maximum(self.domain_sizes - 1, 1).astype(float))
         self.base_scores = np.bincount(
             self.obs_pair_idx,
             weights=self.log_alternatives[self.obs_object_idx],
@@ -199,9 +191,7 @@ class DenseEncoding:
     # ------------------------------------------------------------------
     # Ground-truth codings
     # ------------------------------------------------------------------
-    def truth_codes(
-        self, truth: Mapping[ObjectId, Value]
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    def truth_codes(self, truth: Mapping[ObjectId, Value]) -> Tuple[np.ndarray, np.ndarray]:
         """Encode a truth mapping as per-object arrays.
 
         Returns ``(labeled, codes)`` where ``labeled`` is a boolean mask of

@@ -39,9 +39,7 @@ class FeatureColumn:
 
 
 def _is_numeric(value: object) -> bool:
-    return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
-        value, bool
-    )
+    return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(value, bool)
 
 
 def _bin_labels(n_bins: int) -> List[str]:

@@ -46,9 +46,7 @@ def object_value_accuracy(
     population = list(objects) if objects is not None else list(truth)
     if not population:
         return float("nan")
-    correct = sum(
-        1 for obj in population if obj in truth and predictions.get(obj) == truth[obj]
-    )
+    correct = sum(1 for obj in population if obj in truth and predictions.get(obj) == truth[obj])
     return correct / len(population)
 
 
@@ -104,9 +102,7 @@ def bernoulli_kl(p: float, q: float) -> float:
     return p * np.log(p / q) + (1.0 - p) * np.log((1.0 - p) / (1.0 - q))
 
 
-def mean_accuracy_kl(
-    estimated: Mapping[SourceId, float], true: Mapping[SourceId, float]
-) -> float:
+def mean_accuracy_kl(estimated: Mapping[SourceId, float], true: Mapping[SourceId, float]) -> float:
     """Average ``KL(A_s || A*_s)`` over sources, the Theorem 3 quantity."""
     divergences = [
         bernoulli_kl(estimated[source], true_acc)

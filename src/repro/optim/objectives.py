@@ -70,7 +70,9 @@ class ParameterLayout:
             parts.append(np.zeros(1))
         return np.concatenate(parts)
 
-    def l1_mask(self, sources: bool = False, features: bool = True, extra: bool = False) -> np.ndarray:
+    def l1_mask(
+        self, sources: bool = False, features: bool = True, extra: bool = False
+    ) -> np.ndarray:
         """Boolean mask of parameters eligible for L1 penalties."""
         parts = [
             np.full(self.n_sources, sources, dtype=bool),
@@ -107,9 +109,7 @@ def reduce_correctness_samples(
     if sample_weights is None:
         sample_weights = np.ones(source_idx.shape[0])
     totals = np.bincount(source_idx, weights=sample_weights, minlength=n_sources)
-    mass = np.bincount(
-        source_idx, weights=sample_weights * labels, minlength=n_sources
-    )
+    mass = np.bincount(source_idx, weights=sample_weights * labels, minlength=n_sources)
     active = np.flatnonzero(totals > 0)
     return (
         active,
@@ -200,9 +200,7 @@ class CorrectnessObjective:
         value += 0.5 * float(np.sum(self._l2 * w * w))
 
         residual = self.sample_weights * (p - self.labels) / self._weight_total
-        per_source = np.bincount(
-            self.source_idx, weights=residual, minlength=self.layout.n_sources
-        )
+        per_source = np.bincount(self.source_idx, weights=residual, minlength=self.layout.n_sources)
         grad_feat = self.design.T @ per_source
         parts = [per_source, grad_feat]
         if self.layout.n_extra:
@@ -308,9 +306,7 @@ class ConditionalObjective:
         self.object_weights = np.where(valid, weights, 0.0)
         self._weight_total = float(np.sum(self.object_weights)) or 1.0
         # Per-sample ridge scaling, matching CorrectnessObjective.
-        self._l2 = (
-            self.layout.l2_vector(l2_sources, l2_features, l2_extra) / self._weight_total
-        )
+        self._l2 = (self.layout.l2_vector(l2_sources, l2_features, l2_extra) / self._weight_total)
 
     @property
     def n_params(self) -> int:
@@ -326,9 +322,7 @@ class ConditionalObjective:
         )
         if self.extra_rows.size:
             contributions = w_extra[self.extra_feature_idx] * self.extra_values
-            scores += np.bincount(
-                self.extra_rows, weights=contributions, minlength=self.n_pairs
-            )
+            scores += np.bincount(self.extra_rows, weights=contributions, minlength=self.n_pairs)
         return scores
 
     def pair_log_posteriors(self, w: np.ndarray) -> np.ndarray:
@@ -374,7 +368,9 @@ class ConditionalObjective:
         return value, grad
 
 
-def _segment_log_softmax(scores: np.ndarray, segment_idx: np.ndarray, n_segments: int) -> np.ndarray:
+def _segment_log_softmax(
+    scores: np.ndarray, segment_idx: np.ndarray, n_segments: int
+) -> np.ndarray:
     """Log-softmax of ``scores`` within segments given by ``segment_idx``.
 
     Segments correspond to objects; rows of the same object are normalized

@@ -215,6 +215,4 @@ def sgd(
                 w -= learning_rate / np.sqrt(epoch + 1.0) * grad
         if callback is not None:
             callback(epoch, w)
-    return SolverResult(
-        w=w, value=float(objective.value(w)), n_iterations=epochs, converged=True
-    )
+    return SolverResult(w=w, value=float(objective.value(w)), n_iterations=epochs, converged=True)

@@ -18,9 +18,7 @@ def random_dataset(draw):
     truth = {}
     for obj in range(n_objects):
         n_claims = draw(st.integers(min_value=1, max_value=n_sources))
-        sources = draw(
-            st.permutations(list(range(n_sources))).map(lambda p: p[:n_claims])
-        )
+        sources = draw(st.permutations(list(range(n_sources))).map(lambda p: p[:n_claims]))
         truth[f"o{obj}"] = "v0"
         for source in sources:
             value = draw(st.sampled_from(["v0", "v1", "v2"]))
@@ -55,9 +53,7 @@ class TestBaselineContracts:
         result = baseline_cls().fit_predict(dataset, truth)
         assert result.values[first] == truth[first]
 
-    @pytest.mark.parametrize(
-        "baseline_cls", [MajorityVote, Counts, Accu, Sstf, TruthFinder]
-    )
+    @pytest.mark.parametrize("baseline_cls", [MajorityVote, Counts, Accu, Sstf, TruthFinder])
     @settings(max_examples=10, deadline=None)
     @given(dataset=random_dataset())
     def test_posteriors_are_distributions(self, baseline_cls, dataset):

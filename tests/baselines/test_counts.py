@@ -8,9 +8,7 @@ from repro.fusion import FusionDataset
 
 class TestAccuracyCounting:
     def test_empirical_with_smoothing(self, tiny_dataset):
-        result = Counts(smoothing=1.0).fit_predict(
-            tiny_dataset, tiny_dataset.ground_truth
-        )
+        result = Counts(smoothing=1.0).fit_predict(tiny_dataset, tiny_dataset.ground_truth)
         accs = result.source_accuracies
         # a1: 2 correct of 2 -> (2+1)/(2+2)
         assert accs["a1"] == pytest.approx(0.75)
@@ -18,9 +16,7 @@ class TestAccuracyCounting:
         assert accs["a2"] == pytest.approx(1 / 3)
 
     def test_unlabeled_source_gets_prior(self):
-        ds = FusionDataset(
-            [("s1", "o1", "a"), ("s2", "o2", "b")], ground_truth={"o1": "a"}
-        )
+        ds = FusionDataset([("s1", "o1", "a"), ("s2", "o2", "b")], ground_truth={"o1": "a"})
         result = Counts(prior_accuracy=0.6).fit_predict(ds, {"o1": "a"})
         assert result.source_accuracies["s2"] == 0.6
 

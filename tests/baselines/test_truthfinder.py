@@ -52,7 +52,5 @@ class TestTruthFinder:
         assert set(result.values) == set(small_dataset.objects.items)
 
     def test_hyperparameters_accepted(self, small_dataset):
-        result = TruthFinder(gamma=0.2, rho=0.3, initial_trust=0.8).fit_predict(
-            small_dataset, {}
-        )
+        result = TruthFinder(gamma=0.2, rho=0.3, initial_trust=0.8).fit_predict(small_dataset, {})
         assert result.method == "truthfinder"

@@ -43,9 +43,7 @@ class TestAgreementMatrix:
         assert np.isnan(matrix.scores[0, 1])
 
     def test_min_overlap_filter(self):
-        ds = FusionDataset(
-            [("s1", "o1", "a"), ("s2", "o1", "a")]
-        )
+        ds = FusionDataset([("s1", "o1", "a"), ("s2", "o1", "a")])
         matrix = agreement_matrix(ds, min_overlap=2)
         assert np.isnan(matrix.scores[0, 1])
 
@@ -86,9 +84,7 @@ class TestEstimateAverageAccuracy:
             )
         )
         paper = estimate_average_accuracy(instance.dataset, method="paper")
-        corrected = estimate_average_accuracy(
-            instance.dataset, method="domain-corrected"
-        )
+        corrected = estimate_average_accuracy(instance.dataset, method="domain-corrected")
         # The binary identity underestimates agreement-implied accuracy on
         # multi-valued domains; the corrected variant must be closer.
         assert abs(corrected - 0.6) < abs(paper - 0.6)

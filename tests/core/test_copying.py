@@ -46,9 +46,7 @@ class TestFindCandidatePairs:
         assert all(p.overlap >= 5 for p in pairs)
 
     def test_agreement_threshold_respected(self, copying_instance):
-        pairs = find_candidate_pairs(
-            copying_instance.dataset, min_agreement=0.8
-        )
+        pairs = find_candidate_pairs(copying_instance.dataset, min_agreement=0.8)
         assert all(p.agreement_rate >= 0.8 for p in pairs)
 
     def test_max_pairs_cap(self, copying_instance):
@@ -118,9 +116,7 @@ class TestCopyingSLiMFast:
     def test_training_objects_clamped(self, copying_instance):
         ds = copying_instance.dataset
         split = ds.split(0.2, seed=1)
-        result = CopyingSLiMFast(em_rounds=1, max_pairs=30).fit(
-            ds, split.train_truth
-        ).predict()
+        result = CopyingSLiMFast(em_rounds=1, max_pairs=30).fit(ds, split.train_truth).predict()
         for obj, value in split.train_truth.items():
             assert result.values[obj] == value
 
@@ -131,9 +127,7 @@ class TestCopyingSLiMFast:
         weights = model.pair_weights()
         # All within-group pairs (leader-member AND member-member) carry
         # correlated errors; compare against pairs fully outside groups.
-        grouped_sources = {
-            source for group in copying_instance.copy_groups for source in group
-        }
+        grouped_sources = {source for group in copying_instance.copy_groups for source in group}
         group_weights = [
             w
             for (a, b), w in weights.items()

@@ -9,9 +9,7 @@ from repro.fusion import DatasetError, FusionDataset
 
 class TestTrainingPairs:
     def test_labels_hand_computed(self, tiny_dataset):
-        source_idx, labels = correctness_training_pairs(
-            tiny_dataset, tiny_dataset.ground_truth
-        )
+        source_idx, labels = correctness_training_pairs(tiny_dataset, tiny_dataset.ground_truth)
         assert source_idx.shape[0] == 5
         # a2 (index per dataset) claimed gigyf2=true which is wrong
         a2 = tiny_dataset.sources.index("a2")
@@ -36,9 +34,7 @@ class TestERMLearner:
         ds = small_synthetic.dataset
         model = ERMLearner().fit(ds, ds.ground_truth)
         empirical = ds.empirical_accuracies()
-        errors = [
-            abs(model.accuracy_map()[src] - acc) for src, acc in empirical.items()
-        ]
+        errors = [abs(model.accuracy_map()[src] - acc) for src, acc in empirical.items()]
         assert np.mean(errors) < 0.1
 
     def test_no_truth_rejected(self, small_dataset):
@@ -63,9 +59,7 @@ class TestERMLearner:
         ds = small_synthetic.dataset
         split = ds.split(0.3, seed=0)
         model = ERMLearner().fit(ds, split.train_truth)
-        labeled_sources = {
-            obs.source for obs in ds.observations if obs.obj in split.train_truth
-        }
+        labeled_sources = {obs.source for obs in ds.observations if obs.obj in split.train_truth}
         unlabeled = [s for s in ds.sources if s not in labeled_sources]
         if unlabeled:  # depends on split; usually non-empty at 30%
             accs = model.accuracy_map()
@@ -89,9 +83,7 @@ class TestERMLearner:
     def test_sgd_solver_close_to_lbfgs(self, small_synthetic):
         ds = small_synthetic.dataset
         lb = ERMLearner(ERMConfig(solver="lbfgs")).fit(ds, ds.ground_truth)
-        sg = ERMLearner(ERMConfig(solver="sgd", sgd_epochs=80)).fit(
-            ds, ds.ground_truth
-        )
+        sg = ERMLearner(ERMConfig(solver="sgd", sgd_epochs=80)).fit(ds, ds.ground_truth)
         assert np.mean(np.abs(lb.accuracies() - sg.accuracies())) < 0.05
 
     def test_sgd_with_conditional_rejected(self, small_dataset):
@@ -103,9 +95,7 @@ class TestERMLearner:
         ds = small_synthetic.dataset
         dense = ERMLearner(ERMConfig(l1_features=0.0)).fit(ds, ds.ground_truth)
         sparse = ERMLearner(ERMConfig(l1_features=5.0)).fit(ds, ds.ground_truth)
-        assert np.sum(np.abs(sparse.w_features) < 1e-8) > np.sum(
-            np.abs(dense.w_features) < 1e-8
-        )
+        assert np.sum(np.abs(sparse.w_features) < 1e-8) > np.sum(np.abs(dense.w_features) < 1e-8)
 
     def test_invalid_objective_rejected(self):
         with pytest.raises(ValueError, match="unknown objective"):
@@ -120,17 +110,13 @@ class TestERMLearner:
         assert learner.config.l2_sources == 9.0
 
     def test_intercept_fitted(self, small_dataset):
-        model = ERMLearner(ERMConfig(intercept=True)).fit(
-            small_dataset, small_dataset.ground_truth
-        )
+        model = ERMLearner(ERMConfig(intercept=True)).fit(small_dataset, small_dataset.ground_truth)
         assert model.intercept != 0.0
 
     def test_perfect_source_gets_high_accuracy(self):
         observations = [("good", f"o{i}", "t") for i in range(20)]
         observations += [("bad", f"o{i}", "f") for i in range(20)]
-        ds = FusionDataset(
-            observations, ground_truth={f"o{i}": "t" for i in range(20)}
-        )
+        ds = FusionDataset(observations, ground_truth={f"o{i}": "t" for i in range(20)})
         model = ERMLearner(ERMConfig(use_features=False)).fit(ds, ds.ground_truth)
         accs = model.accuracy_map()
         # The default ridge (~4 pseudo-observations of prior) shrinks a

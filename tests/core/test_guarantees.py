@@ -49,9 +49,7 @@ class TestERMBounds:
         st.integers(min_value=10, max_value=10**5),
     )
     def test_property_sparse_monotone_in_active(self, k, total, labels):
-        assert erm_sparse_bound(k, total, labels) <= erm_sparse_bound(
-            k + 1, total, labels
-        )
+        assert erm_sparse_bound(k, total, labels) <= erm_sparse_bound(k + 1, total, labels)
 
 
 class TestEMBound:

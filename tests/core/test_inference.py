@@ -32,9 +32,7 @@ class TestPosteriorHandComputed:
         assert post["a"] + post["b"] == pytest.approx(1.0)
 
     def test_agreeing_sources_reinforce(self):
-        ds = FusionDataset(
-            [("s1", "o", "a"), ("s2", "o", "a"), ("s3", "o", "b")]
-        )
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "a"), ("s3", "o", "b")])
         model = model_with_accuracies(ds, [0.7, 0.7, 0.7])
         post = posteriors(ds, model)["o"]
         assert post["a"] > post["b"]
@@ -54,9 +52,7 @@ class TestPosteriorHandComputed:
 
     def test_matches_naive_bayes_for_binary(self):
         """For binary domains Equation 4 equals the Naive Bayes posterior."""
-        ds = FusionDataset(
-            [("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "a")]
-        )
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "a")])
         accs = [0.9, 0.7, 0.6]
         model = model_with_accuracies(ds, accs)
         post = posteriors(ds, model)["o"]
@@ -67,9 +63,7 @@ class TestPosteriorHandComputed:
     def test_matches_naive_bayes_multivalued(self):
         """With the domain correction, Equation 4 matches NB with uniform
         error spread for multi-valued objects."""
-        ds = FusionDataset(
-            [("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "c")]
-        )
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "c")])
         accs = [0.8, 0.6, 0.55]
         model = model_with_accuracies(ds, accs)
         post = posteriors(ds, model)["o"]
@@ -133,9 +127,7 @@ class TestPairScores:
 
 class TestExpectedCorrectness:
     def test_uniform_trust_gives_vote_share(self):
-        ds = FusionDataset(
-            [("s1", "o", "a"), ("s2", "o", "a"), ("s3", "o", "b")]
-        )
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "a"), ("s3", "o", "b")])
         structure = build_pair_structure(ds)
         q, _ = expected_correctness(
             structure, np.zeros(3), structure.label_rows({}), domain_correction=False

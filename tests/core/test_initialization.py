@@ -45,9 +45,7 @@ class TestEvaluateInitialization:
     def test_beats_uninformed_baseline(self, feature_instance):
         """Feature-based prediction must beat predicting a constant 0.5."""
         report = evaluate_initialization(feature_instance.dataset, 0.75, seed=0)
-        baseline = float(
-            np.mean([abs(0.5 - acc) for acc in report.reference.values()])
-        )
+        baseline = float(np.mean([abs(0.5 - acc) for acc in report.reference.values()]))
         assert report.error < baseline + 0.02
 
     def test_held_out_sources_not_used(self, feature_instance):
@@ -65,9 +63,7 @@ class TestEvaluateInitialization:
 
 class TestInitializationCurve:
     def test_curve_keys(self, feature_instance):
-        curve = initialization_curve(
-            feature_instance.dataset, fractions=(0.4, 0.6), seeds=(0,)
-        )
+        curve = initialization_curve(feature_instance.dataset, fractions=(0.4, 0.6), seeds=(0,))
         assert set(curve) == {0.4, 0.6}
 
     def test_more_sources_no_worse(self, feature_instance):

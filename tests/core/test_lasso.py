@@ -69,16 +69,12 @@ class TestLassoPath:
         assert len(path.important_features(top=3)) <= 3
 
     def test_requires_truth(self):
-        ds = FusionDataset(
-            [("s", "o", "v")], source_features={"s": {"x": 1.0}}
-        )
+        ds = FusionDataset([("s", "o", "v")], source_features={"s": {"x": 1.0}})
         with pytest.raises(DatasetError, match="ground-truth"):
             lasso_path(ds)
 
     def test_requires_features(self, small_dataset):
-        ds = FusionDataset(
-            [("s", "o", "v")], ground_truth={"o": "v"}
-        )
+        ds = FusionDataset([("s", "o", "v")], ground_truth={"o": "v"})
         with pytest.raises(DatasetError, match="features"):
             lasso_path(ds)
 

@@ -98,9 +98,7 @@ class TestModelFromFlat:
         design, space = build_design_matrix(tiny_dataset)
         n_base = tiny_dataset.n_sources + design.shape[1]
         w = np.concatenate([np.zeros(n_base), [7.0, 8.0], [0.25]])
-        model = model_from_flat(
-            w, tiny_dataset, design, space, intercept=True, n_extra=2
-        )
+        model = model_from_flat(w, tiny_dataset, design, space, intercept=True, n_extra=2)
         assert list(model.w_extra) == [7.0, 8.0]
         assert model.intercept == 0.25
 

@@ -17,9 +17,7 @@ def uniform_panel_dataset(n_sources, n_objects, panel, n_values=2):
             source = (obj + k) % n_sources
             value = f"v{k % n_values}"
             observations.append((f"s{source}", f"o{obj}", value))
-    return FusionDataset(
-        observations, ground_truth={f"o{obj}": "v0" for obj in range(n_objects)}
-    )
+    return FusionDataset(observations, ground_truth={f"o{obj}": "v0" for obj in range(n_objects)})
 
 
 class TestEMUnits:
@@ -67,9 +65,7 @@ class TestERMUnits:
         assert erm_information_units(small_dataset, truth) == 13.0
 
     def test_per_observation_counts_observations(self, tiny_dataset):
-        units = erm_information_units(
-            tiny_dataset, {"gigyf2": "false"}, per_observation=True
-        )
+        units = erm_information_units(tiny_dataset, {"gigyf2": "false"}, per_observation=True)
         assert units == 3.0  # three articles observe gigyf2
 
 
@@ -85,9 +81,7 @@ class TestDecide:
 
     def test_bound_fast_path(self, small_dataset):
         # huge tau forces the bound check to fire with any labels
-        decision = decide(
-            small_dataset, small_dataset.ground_truth, n_features=1, tau=1e9
-        )
+        decision = decide(small_dataset, small_dataset.ground_truth, n_features=1, tau=1e9)
         assert decision.reason == "bound"
         assert decision.algorithm == "erm"
 
@@ -148,11 +142,17 @@ class TestVoteThreshold:
     def test_decide_forwards_threshold(self, multi_valued_dataset):
         split = multi_valued_dataset.split(0.1, seed=0)
         loose = decide(
-            multi_valued_dataset, split.train_truth, 4, tau=0.0,
+            multi_valued_dataset,
+            split.train_truth,
+            4,
+            tau=0.0,
             vote_threshold="paper",
         )
         strict = decide(
-            multi_valued_dataset, split.train_truth, 4, tau=0.0,
+            multi_valued_dataset,
+            split.train_truth,
+            4,
+            tau=0.0,
             vote_threshold="majority",
         )
         assert loose.em_units >= strict.em_units

@@ -20,9 +20,7 @@ def small_fusion_dataset(draw):
     observations = []
     for obj in range(n_objects):
         panel_size = draw(st.integers(min_value=1, max_value=n_sources))
-        panel = draw(
-            st.permutations(list(range(n_sources))).map(lambda p: p[:panel_size])
-        )
+        panel = draw(st.permutations(list(range(n_sources))).map(lambda p: p[:panel_size]))
         for source in panel:
             value = draw(st.integers(min_value=0, max_value=n_values - 1))
             observations.append(Observation(f"s{source}", f"o{obj}", f"v{value}"))
@@ -135,13 +133,9 @@ class TestEMStability:
         from repro.data import SyntheticConfig, generate
 
         dataset = generate(
-            SyntheticConfig(
-                n_sources=15, n_objects=30, density=0.2, avg_accuracy=0.65, seed=seed
-            )
+            SyntheticConfig(n_sources=15, n_objects=30, density=0.2, avg_accuracy=0.65, seed=seed)
         ).dataset
-        model = EMLearner(EMConfig(use_features=False, max_iterations=10)).fit(
-            dataset, {}
-        )
+        model = EMLearner(EMConfig(use_features=False, max_iterations=10)).fit(dataset, {})
         accuracies = model.accuracies()
         assert np.all(np.isfinite(accuracies))
         assert np.all((accuracies > 0.0) & (accuracies < 1.0))

@@ -115,8 +115,5 @@ class TestQuality:
         ds = small_synthetic.dataset
         split = ds.split(0.5, seed=0)
         result = SLiMFast(learner="erm").fit_predict(ds, split.train_truth)
-        errors = [
-            abs(result.source_accuracies[s] - ds.true_accuracies[s])
-            for s in ds.sources
-        ]
+        errors = [abs(result.source_accuracies[s] - ds.true_accuracies[s]) for s in ds.sources]
         assert np.mean(errors) < 0.15

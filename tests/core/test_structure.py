@@ -58,9 +58,7 @@ class TestBuildPairStructure:
         assert np.allclose(structure.base_scores, 0.0)
 
     def test_base_scores_multivalued(self):
-        ds = FusionDataset(
-            [("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "c"), ("s4", "o", "a")]
-        )
+        ds = FusionDataset([("s1", "o", "a"), ("s2", "o", "b"), ("s3", "o", "c"), ("s4", "o", "a")])
         structure = build_pair_structure(ds)
         # domain size 3 -> each vote adds log(2); value 'a' has two votes
         expected = np.array([2.0, 1.0, 1.0]) * np.log(2.0)

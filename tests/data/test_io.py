@@ -26,9 +26,7 @@ class TestRoundTrip:
         assert loaded.source_features["a1"]["year"] == 2009
 
     def test_accuracies_preserved(self, tmp_path):
-        ds = FusionDataset(
-            [("s", "o", "v")], true_accuracies={"s": 0.875}
-        )
+        ds = FusionDataset([("s", "o", "v")], true_accuracies={"s": 0.875})
         save_dataset(ds, tmp_path)
         loaded = load_dataset(tmp_path)
         assert loaded.true_accuracies["s"] == pytest.approx(0.875)
@@ -65,6 +63,4 @@ class TestRoundTrip:
         loaded = load_dataset(tmp_path)
         assert loaded.n_observations == small_dataset.n_observations
         assert loaded.n_sources == small_dataset.n_sources
-        assert set(loaded.ground_truth.values()) == set(
-            small_dataset.ground_truth.values()
-        )
+        assert set(loaded.ground_truth.values()) == set(small_dataset.ground_truth.values())

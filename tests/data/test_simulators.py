@@ -44,25 +44,18 @@ class TestStocks:
         assert stocks.stats().avg_source_accuracy < 0.5
 
     def test_small_claimed_domains(self, stocks):
-        sizes = [
-            len(stocks.domain_by_index(i)) for i in range(stocks.n_objects)
-        ]
+        sizes = [len(stocks.domain_by_index(i)) for i in range(stocks.n_objects)]
         assert max(sizes) <= 3  # truth + at most two alternatives
         assert np.mean(sizes) > 1.5  # real conflicts exist
 
     def test_pagerank_proxy_uninformative(self, stocks):
         """TotalSitesLinkingIn must not correlate with accuracy (Figure 6)."""
-        levels = [
-            int(stocks.source_features[s]["TotalSitesLinkingIn"][1:])
-            for s in stocks.sources
-        ]
+        levels = [int(stocks.source_features[s]["TotalSitesLinkingIn"][1:]) for s in stocks.sources]
         accs = [stocks.true_accuracies[s] for s in stocks.sources]
         assert abs(np.corrcoef(levels, accs)[0, 1]) < 0.4
 
     def test_bounce_rate_informative(self, stocks):
-        levels = [
-            int(stocks.source_features[s]["BounceRate"][1:]) for s in stocks.sources
-        ]
+        levels = [int(stocks.source_features[s]["BounceRate"][1:]) for s in stocks.sources]
         accs = [stocks.true_accuracies[s] for s in stocks.sources]
         assert np.corrcoef(levels, accs)[0, 1] < -0.3  # high bounce = bad
 
@@ -148,7 +141,5 @@ class TestGenomics:
             assert genomics.object_observation_rows(i).shape[0] >= 2
 
     def test_author_long_tail(self, genomics):
-        authors = {
-            genomics.source_features[s]["author"] for s in genomics.sources
-        }
+        authors = {genomics.source_features[s]["author"] for s in genomics.sources}
         assert len(authors) > 500

@@ -55,9 +55,7 @@ class TestInstanceProperties:
             assert ds.object_observation_rows(o_idx).shape[0] >= 1
 
     def test_truth_always_claimed(self):
-        instance = generate(
-            n_sources=20, n_objects=60, density=0.08, avg_accuracy=0.55, seed=3
-        )
+        instance = generate(n_sources=20, n_objects=60, density=0.08, avg_accuracy=0.55, seed=3)
         ds = instance.dataset
         for obj, truth in ds.ground_truth.items():
             assert truth in ds.domain(obj)
@@ -68,21 +66,28 @@ class TestInstanceProperties:
 
     def test_empirical_accuracy_tracks_configured(self):
         instance = generate(
-            n_sources=40, n_objects=400, density=0.2, avg_accuracy=0.7,
-            accuracy_spread=0.05, seed=5,
+            n_sources=40,
+            n_objects=400,
+            density=0.2,
+            avg_accuracy=0.7,
+            accuracy_spread=0.05,
+            seed=5,
         )
         ds = instance.dataset
         empirical = ds.empirical_accuracies()
         for i, source in enumerate(ds.sources):
-            assert empirical[source] == pytest.approx(
-                instance.true_accuracies[i], abs=0.15
-            )
+            assert empirical[source] == pytest.approx(instance.true_accuracies[i], abs=0.15)
 
     def test_features_predict_accuracy(self):
         instance = generate(
-            n_sources=300, n_objects=30, density=0.1,
-            n_features=6, n_informative=4, feature_strength=2.0,
-            accuracy_spread=0.2, seed=6,
+            n_sources=300,
+            n_objects=30,
+            density=0.1,
+            n_features=6,
+            n_informative=4,
+            feature_strength=2.0,
+            accuracy_spread=0.2,
+            seed=6,
         )
         score = instance.feature_matrix @ instance.feature_weights
         corr = np.corrcoef(score, instance.true_accuracies)[0, 1]
@@ -90,8 +95,12 @@ class TestInstanceProperties:
 
     def test_domain_sizes_respected(self):
         instance = generate(
-            n_sources=30, n_objects=60, density=0.3,
-            domain_size_range=(3, 5), avg_accuracy=0.55, seed=7,
+            n_sources=30,
+            n_objects=60,
+            density=0.3,
+            domain_size_range=(3, 5),
+            avg_accuracy=0.55,
+            seed=7,
         )
         ds = instance.dataset
         for o_idx in range(ds.n_objects):
@@ -100,8 +109,12 @@ class TestInstanceProperties:
 
     def test_copy_groups_recorded(self):
         instance = generate(
-            n_sources=40, n_objects=60, density=0.2,
-            copy_groups=3, copy_group_size=4, seed=8,
+            n_sources=40,
+            n_objects=60,
+            density=0.2,
+            copy_groups=3,
+            copy_group_size=4,
+            seed=8,
         )
         assert len(instance.copy_groups) == 3
         for group in instance.copy_groups:
@@ -109,9 +122,14 @@ class TestInstanceProperties:
 
     def test_copiers_agree_more_than_strangers(self):
         instance = generate(
-            n_sources=40, n_objects=200, density=0.25,
-            copy_groups=3, copy_group_size=4, copy_fidelity=0.95,
-            avg_accuracy=0.6, seed=9,
+            n_sources=40,
+            n_objects=200,
+            density=0.25,
+            copy_groups=3,
+            copy_group_size=4,
+            copy_fidelity=0.95,
+            avg_accuracy=0.6,
+            seed=9,
         )
         ds = instance.dataset
         from repro.core import agreement_matrix

@@ -41,9 +41,7 @@ class TestRunMethod:
 
 class TestSweepAndAggregate:
     def test_sweep_cardinality(self, small_dataset):
-        results = sweep(
-            small_dataset, ["majority", "counts"], (0.1, 0.2), seeds=(0, 1)
-        )
+        results = sweep(small_dataset, ["majority", "counts"], (0.1, 0.2), seeds=(0, 1))
         assert len(results) == 2 * 2 * 2
 
     def test_aggregate_averages_seeds(self, small_dataset):
@@ -56,9 +54,7 @@ class TestSweepAndAggregate:
         assert cells[key].object_accuracy == pytest.approx(manual)
 
     def test_best_method_per_cell(self, small_dataset):
-        results = sweep(
-            small_dataset, ["majority", "slimfast-em"], (0.1,), seeds=(0,)
-        )
+        results = sweep(small_dataset, ["majority", "slimfast-em"], (0.1,), seeds=(0,))
         cells = aggregate(results)
         best = best_method_per_cell(cells)
         assert (small_dataset.name, 0.1) in best

@@ -100,16 +100,12 @@ class TestFigureDrivers:
         assert cells[0].winner in ("em", "erm", "-")
 
     def test_figure7(self, mini_datasets):
-        curves, text = figure7(
-            {"stocks": mini_datasets["stocks"]}, fractions=(0.5,), seeds=(0,)
-        )
+        curves, text = figure7({"stocks": mini_datasets["stocks"]}, fractions=(0.5,), seeds=(0,))
         assert 0.0 <= curves["stocks"][0.5] <= 1.0
         assert "unseen sources" in text
 
     def test_figure8(self, mini_datasets):
-        report = figure8(
-            mini_datasets["stocks"], fractions=(0.2,), seeds=(0,), max_pairs=20
-        )
+        report = figure8(mini_datasets["stocks"], fractions=(0.2,), seeds=(0,), max_pairs=20)
         assert 0.2 in report.accuracy_with
         assert "Copying" in report.text or "copying" in report.text
 

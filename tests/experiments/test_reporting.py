@@ -38,9 +38,7 @@ class TestAccuracyMatrix:
         assert "-" in text
 
     def test_metric_selection(self):
-        text = accuracy_matrix(
-            self._cells(), "ds", ["m1"], [0.1], metric="runtime_seconds"
-        )
+        text = accuracy_matrix(self._cells(), "ds", ["m1"], [0.1], metric="runtime_seconds")
         assert "1.000" in text
 
 

@@ -28,18 +28,23 @@ class TestFigure4Drivers:
 
     def test_figure4a_intercept_variant_differs(self):
         plain = figure4a(
-            train_fractions=(0.1,), n_sources=300, n_objects=100,
-            density=0.01, seeds=(0,),
+            train_fractions=(0.1,),
+            n_sources=300,
+            n_objects=100,
+            density=0.01,
+            seeds=(0,),
         )
         intercept = figure4a(
-            train_fractions=(0.1,), n_sources=300, n_objects=100,
-            density=0.01, seeds=(0,), erm_intercept=True,
+            train_fractions=(0.1,),
+            n_sources=300,
+            n_objects=100,
+            density=0.01,
+            seeds=(0,),
+            erm_intercept=True,
         )
         # EM runs are identical; ERM should change with the intercept.
         assert plain[0].em_accuracy == pytest.approx(intercept[0].em_accuracy)
-        assert plain[0].erm_accuracy != pytest.approx(
-            intercept[0].erm_accuracy, abs=1e-12
-        )
+        assert plain[0].erm_accuracy != pytest.approx(intercept[0].erm_accuracy, abs=1e-12)
 
     def test_figure4b_label_budget_shrinks_with_density(self):
         points = figure4b(
@@ -52,9 +57,7 @@ class TestFigure4Drivers:
         assert len(points) == 2
 
     def test_figure4c_x_axis(self):
-        points = figure4c(
-            accuracies=(0.6, 0.8), n_sources=200, n_objects=100, seeds=(0,)
-        )
+        points = figure4c(accuracies=(0.6, 0.8), n_sources=200, n_objects=100, seeds=(0,))
         assert [p.x for p in points] == [0.6, 0.8]
 
 

@@ -59,9 +59,7 @@ class TestECE:
         """End-to-end: ERM posteriors should not be wildly miscalibrated."""
         split = small_dataset.split(0.4, seed=0)
         result = SLiMFast(learner="erm").fit_predict(small_dataset, split.train_truth)
-        test_truth = {
-            obj: small_dataset.ground_truth[obj] for obj in split.test_objects
-        }
+        test_truth = {obj: small_dataset.ground_truth[obj] for obj in split.test_objects}
         ece = expected_calibration_error(result.posteriors, test_truth)
         assert ece < 0.25
 
@@ -84,9 +82,7 @@ class TestPrecisionThreshold:
 
     def test_coverage_tradeoff(self):
         truth = {f"o{i}": "v" for i in range(10)}
-        posteriors = {
-            f"o{i}": {"v": 0.5 + i * 0.05, "w": 0.5 - i * 0.05} for i in range(10)
-        }
+        posteriors = {f"o{i}": {"v": 0.5 + i * 0.05, "w": 0.5 - i * 0.05} for i in range(10)}
         low_cov, low_prec = coverage_at_threshold(posteriors, truth, 0.9)
         high_cov, high_prec = coverage_at_threshold(posteriors, truth, 0.5)
         assert high_cov >= low_cov

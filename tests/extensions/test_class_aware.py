@@ -34,23 +34,15 @@ class TestClassAwareSLiMFast:
     def test_all_objects_resolved(self, two_class_dataset):
         dataset, classes = two_class_dataset
         split = dataset.split(0.3, seed=0)
-        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(
-            dataset, split.train_truth
-        )
+        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(dataset, split.train_truth)
         assert set(out.result.values) == set(dataset.objects.items)
 
     def test_per_class_accuracies_differ(self, two_class_dataset):
         dataset, classes = two_class_dataset
         split = dataset.split(0.5, seed=0)
-        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(
-            dataset, split.train_truth
-        )
-        a_accs = [
-            v for v in out.class_accuracies["A"].values() if v is not None
-        ]
-        b_accs = [
-            v for v in out.class_accuracies["B"].values() if v is not None
-        ]
+        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(dataset, split.train_truth)
+        a_accs = [v for v in out.class_accuracies["A"].values() if v is not None]
+        b_accs = [v for v in out.class_accuracies["B"].values() if v is not None]
         assert np.mean(a_accs) > np.mean(b_accs) + 0.2
 
     def test_beats_class_blind_model(self, two_class_dataset):
@@ -61,13 +53,9 @@ class TestClassAwareSLiMFast:
         dataset, classes = two_class_dataset
         split = dataset.split(0.5, seed=0)
         test = list(split.test_objects)
-        aware = ClassAwareSLiMFast(classes, learner="erm").fit_predict(
-            dataset, split.train_truth
-        )
+        aware = ClassAwareSLiMFast(classes, learner="erm").fit_predict(dataset, split.train_truth)
         blind = SLiMFast(learner="erm").fit_predict(dataset, split.train_truth)
-        aware_acc = object_value_accuracy(
-            aware.result.values, dataset.ground_truth, test
-        )
+        aware_acc = object_value_accuracy(aware.result.values, dataset.ground_truth, test)
         blind_acc = object_value_accuracy(blind.values, dataset.ground_truth, test)
         assert aware_acc >= blind_acc - 0.02
 
@@ -84,9 +72,7 @@ class TestClassAwareSLiMFast:
     def test_accuracy_of_accessor(self, two_class_dataset):
         dataset, classes = two_class_dataset
         split = dataset.split(0.4, seed=0)
-        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(
-            dataset, split.train_truth
-        )
+        out = ClassAwareSLiMFast(classes, learner="erm").fit_predict(dataset, split.train_truth)
         some_source = next(iter(out.class_accuracies["A"]))
         assert out.accuracy_of(some_source, "A") is not None
         assert out.accuracy_of("ghost-source", "A") is None

@@ -51,9 +51,7 @@ class TestCalibrateTheta:
         dataset, model, _ = fitted
         theta = calibrate_theta(dataset, model, dataset.ground_truth)
         posteriors = open_world_posteriors(dataset, model, theta)
-        abstentions = sum(
-            1 for dist in posteriors.values() if max(dist, key=dist.get) == UNKNOWN
-        )
+        abstentions = sum(1 for dist in posteriors.values() if max(dist, key=dist.get) == UNKNOWN)
         assert abstentions < dataset.n_objects * 0.2
 
     def test_unknown_labels_raise_theta(self, fitted):

@@ -20,9 +20,7 @@ class TestRankSources:
         assert ranked_accs == sorted(ranked_accs, reverse=True)
 
     def test_coverage_breaks_ties(self):
-        ds = FusionDataset(
-            [("busy", f"o{i}", "v") for i in range(10)] + [("idle", "o0", "w")]
-        )
+        ds = FusionDataset([("busy", f"o{i}", "v") for i in range(10)] + [("idle", "o0", "w")])
         accuracies = {"busy": 0.7, "idle": 0.7}
         ranking = rank_sources(ds, accuracies, coverage_weight=1.0)
         assert ranking[0] == "busy"

@@ -53,7 +53,9 @@ class TestStreamingFuserBasics:
         fuser = StreamingFuser(decay=0.5, self_training=False)
         fuser.reveal_truth("o1", "v")
         for i in range(10):
-            fuser.observe(Observation("s", f"o1", "v") if i == 0 else Observation("s", f"x{i}", "v"))
+            fuser.observe(
+                Observation("s", f"o1", "v") if i == 0 else Observation("s", f"x{i}", "v")
+            )
         state = fuser._sources["s"]
         # decayed totals stay bounded instead of growing linearly
         assert state.total < 5.0
@@ -83,7 +85,9 @@ class TestReplayDataset:
     def test_source_accuracies_track_truth(self, small_dataset):
         """With full truth revealed, streaming estimates approach empirical."""
         result = replay_dataset(
-            small_dataset, dict(small_dataset.ground_truth), seed=0,
+            small_dataset,
+            dict(small_dataset.ground_truth),
+            seed=0,
             self_training=False,
         )
         empirical = small_dataset.empirical_accuracies()

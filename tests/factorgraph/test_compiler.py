@@ -30,9 +30,7 @@ class TestCompileStructure:
         compiled = compile_dataset(tiny_dataset)
         # a1 observes two objects but owns a single weight
         assert ("src", "a1") in compiled.graph.weights
-        a1_factors = [
-            f for f in compiled.graph.factors if f.weight_id == ("src", "a1")
-        ]
+        a1_factors = [f for f in compiled.graph.factors if f.weight_id == ("src", "a1")]
         assert len(a1_factors) == 2
 
     def test_feature_weights_created(self, tiny_dataset):

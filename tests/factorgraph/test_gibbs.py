@@ -71,9 +71,7 @@ class TestGibbsSampler:
     def test_initial_state_respected(self):
         graph = FactorGraph()
         graph.add_variable("v", ["a", "b"])
-        result = GibbsSampler(n_samples=1, burn_in=0, seed=6).run(
-            graph, initial_state={"v": "b"}
-        )
+        result = GibbsSampler(n_samples=1, burn_in=0, seed=6).run(graph, initial_state={"v": "b"})
         assert result.n_samples == 1
 
     def test_map_assignment(self):

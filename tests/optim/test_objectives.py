@@ -190,9 +190,7 @@ class TestConditionalObjective:
         objective_missing = make_conditional()
         objective_missing.label_pair_idx = objective.label_pair_idx.copy()
         objective_missing.label_pair_idx[1] = -1
-        objective_missing.object_weights = np.where(
-            objective_missing.label_pair_idx >= 0, 1.0, 0.0
-        )
+        objective_missing.object_weights = np.where(objective_missing.label_pair_idx >= 0, 1.0, 0.0)
         w = np.zeros(objective.n_params)
         assert objective_missing.value(w) != pytest.approx(objective.value(w))
 

@@ -127,7 +127,8 @@ class TestSGD:
             objective,
             n_samples=objective.n_samples,
             epochs=3,
-            callback=lambda epoch, w: epochs_seen.append(epoch),
+            callback=lambda epoch,
+            w: epochs_seen.append(epoch),
         )
         assert epochs_seen == [0, 1, 2]
 

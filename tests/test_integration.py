@@ -24,9 +24,7 @@ class TestPaperHeadlines:
         ds = generate_genomics(n_sources=800, n_objects=200, seed=1)
         split = ds.split(0.1, seed=0)
         slimfast = SLiMFast(learner="em").fit_predict(ds, split.train_truth)
-        sources_only = SLiMFast(learner="em", use_features=False).fit_predict(
-            ds, split.train_truth
-        )
+        sources_only = SLiMFast(learner="em", use_features=False).fit_predict(ds, split.train_truth)
         counts = Counts().fit_predict(ds, split.train_truth)
         test = list(split.test_objects)
         assert slimfast.accuracy(ds, test) > sources_only.accuracy(ds, test) + 0.03
@@ -48,9 +46,7 @@ class TestPaperHeadlines:
 
     def test_optimizer_picks_winner_on_extremes(self):
         """Plenty of labels -> ERM; no labels -> EM."""
-        ds = generate(
-            SyntheticConfig(n_sources=80, n_objects=150, density=0.1, seed=5)
-        ).dataset
+        ds = generate(SyntheticConfig(n_sources=80, n_objects=150, density=0.1, seed=5)).dataset
         rich = SLiMFast(learner="auto")
         rich.fit(ds, ds.ground_truth)
         assert rich.chosen_learner_ == "erm"
@@ -129,9 +125,7 @@ class TestRobustness:
         assert result.values["lonely"] == "x"
 
     def test_all_sources_agree(self):
-        ds = FusionDataset(
-            [(f"s{i}", "o", "same") for i in range(5)], ground_truth={"o": "same"}
-        )
+        ds = FusionDataset([(f"s{i}", "o", "same") for i in range(5)], ground_truth={"o": "same"})
         result = SLiMFast(learner="em").fit_predict(ds, {})
         assert result.values["o"] == "same"
 

@@ -20,9 +20,7 @@ class TestPathologicalDatasets:
                 observations.append((f"liar{j}", f"o{i}", "wrong"))
         ds = FusionDataset(observations, ground_truth=truth)
         split = ds.split(0.5, seed=0)
-        result = SLiMFast(learner="erm", use_features=False).fit_predict(
-            ds, split.train_truth
-        )
+        result = SLiMFast(learner="erm", use_features=False).fit_predict(ds, split.train_truth)
         assert result.accuracy(ds, list(split.test_objects)) > 0.9
         # ridge shrinkage (~4 pseudo-observations) keeps the estimates off
         # the extremes, but the ordering must be stark
@@ -33,9 +31,7 @@ class TestPathologicalDatasets:
         """An object where every source claims a distinct value."""
         observations = [(f"s{i}", "chaos", f"v{i}") for i in range(25)]
         observations += [("s0", "anchor", "x"), ("s1", "anchor", "x")]
-        ds = FusionDataset(
-            observations, ground_truth={"chaos": "v0", "anchor": "x"}
-        )
+        ds = FusionDataset(observations, ground_truth={"chaos": "v0", "anchor": "x"})
         result = SLiMFast(learner="em").fit_predict(ds, {})
         assert result.values["chaos"] in {f"v{i}" for i in range(25)}
         dist = result.posteriors["chaos"]
@@ -47,9 +43,7 @@ class TestPathologicalDatasets:
             ("πηγή-2", ("gene", 42), "όχι"),
             (7, "obj-int-source", 3.14),
         ]
-        ds = FusionDataset(
-            observations, ground_truth={("gene", 42): "ναι", "obj-int-source": 3.14}
-        )
+        ds = FusionDataset(observations, ground_truth={("gene", 42): "ναι", "obj-int-source": 3.14})
         result = SLiMFast(learner="erm").fit_predict(ds, ds.ground_truth)
         assert result.values[("gene", 42)] == "ναι"
 
@@ -60,9 +54,7 @@ class TestPathologicalDatasets:
             assert result.values["o"] == "v"
 
     def test_all_unanimous_dataset_em(self):
-        observations = [
-            (f"s{i}", f"o{j}", "same") for i in range(4) for j in range(10)
-        ]
+        observations = [(f"s{i}", f"o{j}", "same") for i in range(4) for j in range(10)]
         ds = FusionDataset(observations, ground_truth={f"o{j}": "same" for j in range(10)})
         result = SLiMFast(learner="em").fit_predict(ds, {})
         assert all(v == "same" for v in result.values.values())
@@ -71,13 +63,9 @@ class TestPathologicalDatasets:
         """One source with hundreds of claims next to singletons."""
         observations = [("whale", f"o{i}", "t") for i in range(200)]
         observations += [(f"minnow{i}", f"o{i}", "f") for i in range(30)]
-        ds = FusionDataset(
-            observations, ground_truth={f"o{i}": "t" for i in range(200)}
-        )
+        ds = FusionDataset(observations, ground_truth={f"o{i}": "t" for i in range(200)})
         split = ds.split(0.1, seed=0)
-        result = SLiMFast(learner="erm", use_features=False).fit_predict(
-            ds, split.train_truth
-        )
+        result = SLiMFast(learner="erm", use_features=False).fit_predict(ds, split.train_truth)
         assert result.accuracy(ds, list(split.test_objects)) > 0.85
 
     def test_agreement_estimation_on_disjoint_sources(self):
@@ -136,8 +124,6 @@ class TestNumericalStability:
 
     def test_many_values_softmax_stable(self):
         observations = [(f"s{i}", "o", f"v{i % 40}") for i in range(200)]
-        ds = FusionDataset(
-            [(s, o, v) for (s, o, v) in observations if True][:40]
-        )
+        ds = FusionDataset([(s, o, v) for (s, o, v) in observations if True][:40])
         result = MajorityVote().fit_predict(ds)
         assert sum(result.posteriors["o"].values()) == pytest.approx(1.0)

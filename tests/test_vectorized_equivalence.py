@@ -35,17 +35,35 @@ ATOL = 1e-8
 
 CONFIGS = [
     SyntheticConfig(
-        n_sources=40, n_objects=90, density=0.15, avg_accuracy=0.72,
-        n_features=6, n_informative=3, seed=101, name="binary-featureful",
+        n_sources=40,
+        n_objects=90,
+        density=0.15,
+        avg_accuracy=0.72,
+        n_features=6,
+        n_informative=3,
+        seed=101,
+        name="binary-featureful",
     ),
     SyntheticConfig(
-        n_sources=25, n_objects=70, density=0.25, avg_accuracy=0.6,
-        domain_size_range=(3, 5), n_features=5, n_informative=2,
-        seed=202, name="multi-valued",
+        n_sources=25,
+        n_objects=70,
+        density=0.25,
+        avg_accuracy=0.6,
+        domain_size_range=(3, 5),
+        n_features=5,
+        n_informative=2,
+        seed=202,
+        name="multi-valued",
     ),
     SyntheticConfig(
-        n_sources=30, n_objects=60, density=0.2, avg_accuracy=0.8,
-        n_features=0, n_informative=0, seed=303, name="featureless",
+        n_sources=30,
+        n_objects=60,
+        density=0.2,
+        avg_accuracy=0.8,
+        n_features=0,
+        n_informative=0,
+        seed=303,
+        name="featureless",
     ),
 ]
 
@@ -90,9 +108,7 @@ class TestEncoding:
     def test_expand_spans(self):
         starts = np.asarray([5, 0, 9])
         lengths = np.asarray([2, 0, 3])
-        np.testing.assert_array_equal(
-            expand_spans(starts, lengths), [5, 6, 9, 10, 11]
-        )
+        np.testing.assert_array_equal(expand_spans(starts, lengths), [5, 6, 9, 10, 11])
         assert expand_spans(np.zeros(0), np.zeros(0)).size == 0
 
     def test_check_backend_rejects_unknown(self):
@@ -173,9 +189,7 @@ class TestLearnerEquivalence:
     def test_training_pairs_identical(self, dataset):
         truth = _truth_fraction(dataset, 0.5, seed=5)
         src_vec, lab_vec = correctness_training_pairs(dataset, truth)
-        src_ref, lab_ref = correctness_training_pairs(
-            dataset, truth, backend="reference"
-        )
+        src_ref, lab_ref = correctness_training_pairs(dataset, truth, backend="reference")
         np.testing.assert_array_equal(src_vec, src_ref)
         np.testing.assert_array_equal(lab_vec, lab_ref)
 
@@ -183,15 +197,20 @@ class TestLearnerEquivalence:
         truth = _truth_fraction(dataset, 0.5, seed=5)
         src, labels = correctness_training_pairs(dataset, truth)
         full = CorrectnessObjective(
-            source_idx=src, labels=labels, design=np.zeros((dataset.n_sources, 0)),
-            l2_sources=2.0, intercept=True,
+            source_idx=src,
+            labels=labels,
+            design=np.zeros((dataset.n_sources, 0)),
+            l2_sources=2.0,
+            intercept=True,
         )
-        r_src, r_labels, r_weights = reduce_correctness_samples(
-            src, labels, dataset.n_sources
-        )
+        r_src, r_labels, r_weights = reduce_correctness_samples(src, labels, dataset.n_sources)
         reduced = CorrectnessObjective(
-            source_idx=r_src, labels=r_labels, sample_weights=r_weights,
-            design=np.zeros((dataset.n_sources, 0)), l2_sources=2.0, intercept=True,
+            source_idx=r_src,
+            labels=r_labels,
+            sample_weights=r_weights,
+            design=np.zeros((dataset.n_sources, 0)),
+            l2_sources=2.0,
+            intercept=True,
         )
         rng = np.random.default_rng(0)
         for _ in range(3):
@@ -242,9 +261,7 @@ class TestGibbsEquivalence:
             np.testing.assert_allclose(conditional, expected, atol=ATOL)
 
     def test_vectorized_marginals_agree_with_reference(self):
-        dataset = generate(
-            SyntheticConfig(n_sources=15, n_objects=20, density=0.3, seed=9)
-        ).dataset
+        dataset = generate(SyntheticConfig(n_sources=15, n_objects=20, density=0.3, seed=9)).dataset
         truth = _truth_fraction(dataset, 0.2, seed=9)
         model = ERMLearner().fit(dataset, truth)
         compiled = compile_dataset(dataset, evidence=truth)
@@ -267,7 +284,9 @@ class TestGibbsEquivalence:
         graph.add_variable("a", ("x", "y"))
         graph.add_variable("b", ("x", "y"))
         graph.add_factor(
-            ["a", "b"], lambda args: 1.0 if args[0] == args[1] else 0.0, "tie",
+            ["a", "b"],
+            lambda args: 1.0 if args[0] == args[1] else 0.0,
+            "tie",
             initial_weight=0.7,
         )
         auto = GibbsSampler(n_samples=200, burn_in=20, seed=1, backend="auto").run(graph)
