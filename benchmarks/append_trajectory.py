@@ -1,0 +1,97 @@
+"""Append a benchmark run's speedups to the cross-run trajectory artifact.
+
+The CI bench job gates each run against the *committed* baseline, which
+only catches regressions versus the last refresh.  This script maintains
+``BENCH_trajectory.json`` — a rolling list of per-run smoke speedups keyed
+by commit — which CI carries across runs (actions/cache) and uploads as an
+artifact, so drift is visible across a whole sequence of PRs rather than
+only against the single committed snapshot.
+
+Usage (what the CI job runs)::
+
+    python benchmarks/append_trajectory.py \
+        --report benchmarks/results/BENCH_inference.json \
+        --trajectory benchmarks/results/BENCH_trajectory.json \
+        --commit "$GITHUB_SHA" --run-id "$GITHUB_RUN_ID"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+MAX_ENTRIES = 200
+
+
+def build_entry(report: dict, commit: str, run_id: str) -> dict:
+    """One trajectory row: identifying metadata plus every case speedup."""
+    return {
+        "commit": commit,
+        "run_id": run_id,
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": report.get("mode"),
+        "python": report.get("environment", {}).get("python"),
+        "speedups": {
+            case["name"]: round(float(case["speedup"]), 3)
+            for case in report.get("cases", [])
+        },
+        "posteriors_em_median_speedup": report.get("summary", {}).get(
+            "posteriors_em_median_speedup"
+        ),
+    }
+
+
+def append(report_path: Path, trajectory_path: Path, commit: str, run_id: str) -> dict:
+    report = json.loads(report_path.read_text())
+    trajectory = []
+    if trajectory_path.exists():
+        try:
+            trajectory = json.loads(trajectory_path.read_text())
+        except json.JSONDecodeError:
+            print(
+                f"warning: {trajectory_path} is corrupt, starting fresh",
+                file=sys.stderr,
+            )
+    if not isinstance(trajectory, list):
+        trajectory = []
+    entry = build_entry(report, commit, run_id)
+    # Re-runs of the same commit replace their previous row instead of
+    # duplicating it (CI retries should not pollute the trajectory).
+    trajectory = [row for row in trajectory if row.get("commit") != commit]
+    trajectory.append(entry)
+    trajectory = trajectory[-MAX_ENTRIES:]
+    trajectory_path.parent.mkdir(parents=True, exist_ok=True)
+    trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--report", type=Path, required=True, help="benchmark report JSON")
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        required=True,
+        help="trajectory JSON to append to (created when missing)",
+    )
+    parser.add_argument("--commit", default="unknown", help="commit SHA of this run")
+    parser.add_argument("--run-id", default="local", help="CI run identifier")
+    args = parser.parse_args(argv)
+
+    if not args.report.exists():
+        print(f"report {args.report} not found", file=sys.stderr)
+        return 2
+    entry = append(args.report, args.trajectory, args.commit, args.run_id)
+    print(
+        f"appended {entry['commit'][:12]} (summary "
+        f"{entry['posteriors_em_median_speedup']}) to {args.trajectory}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -439,26 +439,15 @@ class CopyingSLiMFast:
 
     # ------------------------------------------------------------------
     def predict(self) -> FusionResult:
-        """Fusion output with copying-adjusted posteriors."""
+        """Fusion output with copying-adjusted posteriors (array-backed)."""
         if self.model_ is None or self._structure is None:
             raise NotFittedError("call fit() before predict()")
-        probs = self._row_posteriors()
-        structure = self._structure
-        values: Dict[ObjectId, Value] = {}
-        posteriors: Dict[ObjectId, Dict[Value, float]] = {}
-        for position, obj in enumerate(structure.object_ids):
-            rows = structure.rows_of(position)
-            if obj in self._truth:
-                dist = {structure.pair_values[row]: 0.0 for row in rows}
-                dist[self._truth[obj]] = 1.0
-            else:
-                dist = {structure.pair_values[row]: float(probs[row]) for row in rows}
-            posteriors[obj] = dist
-            values[obj] = max(dist, key=dist.get)
-        return FusionResult(
-            values=values,
-            posteriors=posteriors,
-            source_accuracies=self.model_.accuracy_map(),
+        return FusionResult.from_rows(
+            self._structure,
+            self._row_posteriors(),
+            clamp=self._truth,
+            accuracy_vector=self.model_.accuracies(),
+            source_ids=self.model_.source_ids,
             method="slimfast-copying",
             diagnostics={"n_pairs": len(self.pairs_)},
         )

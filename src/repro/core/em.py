@@ -16,6 +16,21 @@ the first E-step behaves like majority vote; when training labels exist an
 ERM warm start is used instead.  The likelihood is non-convex and EM may
 converge to local optima — the behaviour the paper's optimizer reasons
 about (e.g. label-flipped solutions when average accuracy < 0.5).
+
+**Warm-started M-step contract** (``solver="lbfgs-warm"``): each M-step is
+a convex weighted logistic regression whose data only drifts through the
+soft labels, so consecutive rounds share second-order information.  The
+warm path starts every solve from the previous round's weights, uses a
+*tolerance-adaptive* stopping rule (coarse while the outer EM delta is
+large, floored at the scipy reference's precision near convergence), and
+computes updates as structured Newton directions on the per-source
+sufficient statistics (:meth:`CorrectnessObjective.newton_direction`, an
+``O(S K^2)`` arrowhead solve) — with a warm-memory L-BFGS
+(:func:`repro.optim.solvers.minimize_lbfgs_warm`) as the generic fallback
+when the structured solve is unavailable.  Both paths minimize the same
+objective as the scipy reference: objective values agree at atol=1e-8,
+while parameter/accuracy agreement is bounded near 1e-6 by scipy's own
+double-precision stopping plateau (see ``tests/test_vectorized_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -31,7 +46,13 @@ from ..fusion.features import FeatureSpace, build_design_matrix
 from ..fusion.types import ObjectId, Value
 from ..optim.numerics import logit
 from ..optim.objectives import CorrectnessObjective, reduce_correctness_samples
-from ..optim.solvers import minimize_lbfgs, sgd
+from ..optim.solvers import (
+    LBFGSMemory,
+    minimize_lbfgs,
+    minimize_lbfgs_warm,
+    minimize_newton,
+    sgd,
+)
 from .erm import ERMConfig, ERMLearner
 from .inference import expected_correctness
 from .model import AccuracyModel, model_from_flat
@@ -59,7 +80,15 @@ class EMConfig:
         When False, reduces to the paper's Sources-EM variant (the
         discriminative equivalent of Zhao et al.'s generative model).
     solver:
-        "lbfgs" (default) or "sgd" for the M-step.
+        M-step solver: ``"lbfgs"`` (scipy L-BFGS-B, the reference),
+        ``"lbfgs-warm"`` (in-process L-BFGS whose curvature memory persists
+        across EM rounds with a tolerance-adaptive stopping rule — same
+        minimizer, no per-round scipy setup cost) or ``"sgd"``.
+    m_step_tolerance:
+        Convergence tolerance of each M-step solve (scipy ``ftol`` for
+        ``"lbfgs"``, the relative-decrease stop for ``"lbfgs-warm"``).
+        Tighten to make the two solvers' trajectories coincide exactly;
+        the default matches scipy's historical behaviour.
     backend:
         ``"vectorized"`` (default) runs the E-step clamp and the M-step
         sufficient statistics as array reductions over the dataset's dense
@@ -77,6 +106,10 @@ class EMConfig:
     backend: str = "vectorized"
     sgd_epochs: int = 10
     seed: int = 0
+    m_step_tolerance: float = 1e-8
+
+
+EM_SOLVERS = ("lbfgs", "lbfgs-warm", "sgd")
 
 
 @dataclass
@@ -96,6 +129,8 @@ class EMLearner:
         if overrides:
             base = EMConfig(**{**base.__dict__, **overrides})
         check_backend(base.backend)
+        if base.solver not in EM_SOLVERS:
+            raise ValueError(f"unknown solver {base.solver!r}; expected one of {EM_SOLVERS}")
         self.config = base
         self.trace_: Optional[EMTrace] = None
 
@@ -136,6 +171,12 @@ class EMLearner:
         converged = False
         previous_acc = model.accuracies()
         reduce_m_step = vectorized and self.config.solver != "sgd"
+        warm = self.config.solver == "lbfgs-warm"
+        # Curvature memory shared across M-steps: the objective only drifts
+        # through the soft labels, so the previous round's inverse-Hessian
+        # approximation remains a good preconditioner.
+        warm_memory = LBFGSMemory() if warm else None
+        delta = float("inf")
         for _ in range(self.config.max_iterations):
             # E-step: soft correctness of each observation.
             q_obs, _ = expected_correctness(
@@ -169,8 +210,34 @@ class EMLearner:
                     epochs=self.config.sgd_epochs,
                     seed=self.config.seed,
                 )
+            elif warm:
+                # Tolerance-adaptive stopping: while EM is far from its
+                # fixed point the M-step only needs enough precision to
+                # keep the outer iteration on track; the floor keeps the
+                # final rounds at least as tight as the scipy reference.
+                floor = min(1e-8, 10.0 * self.config.m_step_tolerance)
+                gtol = max(floor, min(1e-6, 1e-2 * delta))
+                try:
+                    # Second-order update on the per-source sufficient
+                    # statistics: warm-started from the previous round's
+                    # weights, it reaches the M-step optimum in one or two
+                    # structured Newton solves.
+                    result = minimize_newton(objective, w0=w, gtol=gtol)
+                except np.linalg.LinAlgError:  # pragma: no cover - degenerate
+                    result = minimize_lbfgs_warm(
+                        objective,
+                        w0=w,
+                        memory=warm_memory,
+                        gtol=gtol,
+                        ftol=self.config.m_step_tolerance,
+                    )
             else:
-                result = minimize_lbfgs(objective, w0=w)
+                result = minimize_lbfgs(
+                    objective,
+                    w0=w,
+                    tolerance=self.config.m_step_tolerance,
+                    gtol=min(1e-8, 10.0 * self.config.m_step_tolerance),
+                )
             w = result.w
             model = model_from_flat(w, dataset, design, feature_space, intercept=True)
 

@@ -35,13 +35,7 @@ from ..fusion.result import FusionResult
 from ..fusion.types import DatasetError, NotFittedError, ObjectId, Value
 from .em import EMConfig, EMLearner
 from .erm import ERMConfig, ERMLearner
-from .inference import (
-    map_assignment,
-    map_rows,
-    package_posteriors,
-    posterior_rows,
-    posteriors,
-)
+from .inference import map_assignment, posterior_rows, posteriors
 from .model import AccuracyModel
 from .optimizer import OptimizerDecision, decide
 from .structure import build_pair_structure
@@ -61,6 +55,10 @@ class SLiMFast:
     objective:
         ERM objective: ``"correctness"`` (Definition 7) or ``"conditional"``
         (Equation 4).
+    solver:
+        M-step/ERM solver shared by both learner configs: ``"lbfgs"``
+        (default), ``"lbfgs-warm"`` (EM reuses second-order state across
+        rounds; ERM treats it as ``"lbfgs"``) or ``"sgd"``.
     erm_config / em_config:
         Full learner configuration overrides; built from the scalar
         arguments when omitted.
@@ -178,16 +176,29 @@ class SLiMFast:
         """Infer object values and package the full fusion output.
 
         Training objects are clamped to their known truth; all other
-        objects receive MAP estimates under the learned model.
+        objects receive MAP estimates under the learned model.  With the
+        vectorized backend the returned :class:`FusionResult` is
+        array-backed: no per-object dict is built on the predict path, the
+        ``values`` / ``posteriors`` views materialize lazily on demand.
         """
         if self.model_ is None or self._dataset is None:
             raise NotFittedError("call fit() before predict()")
         started = time.perf_counter()
         structure = build_pair_structure(self._dataset, backend=self.backend)
+        diagnostics: Dict[str, object] = {"learner": self.chosen_learner_}
+        if self.decision_ is not None:
+            diagnostics["optimizer"] = self.decision_
         if self.backend == "vectorized":
             probs = posterior_rows(structure, self.model_)
-            posterior = package_posteriors(structure, probs, clamp=self._train_truth)
-            values = map_rows(structure, probs, clamp=self._train_truth)
+            result = FusionResult.from_rows(
+                structure,
+                probs,
+                clamp=self._train_truth,
+                accuracy_vector=self.model_.accuracies(),
+                source_ids=self.model_.source_ids,
+                method=self._method_name(),
+                diagnostics=diagnostics,
+            )
         else:
             posterior = posteriors(
                 self._dataset,
@@ -196,21 +207,16 @@ class SLiMFast:
                 clamp=self._train_truth,
                 backend="reference",
             )
-            values = map_assignment(posterior)
+            result = FusionResult(
+                values=map_assignment(posterior),
+                posteriors=posterior,
+                source_accuracies=self.model_.accuracy_map(),
+                method=self._method_name(),
+                diagnostics=diagnostics,
+            )
         self.timings_["inference"] = time.perf_counter() - started
-        diagnostics: Dict[str, object] = {
-            "learner": self.chosen_learner_,
-            "timings": dict(self.timings_),
-        }
-        if self.decision_ is not None:
-            diagnostics["optimizer"] = self.decision_
-        return FusionResult(
-            values=values,
-            posteriors=posterior,
-            source_accuracies=self.model_.accuracy_map(),
-            method=self._method_name(),
-            diagnostics=diagnostics,
-        )
+        diagnostics["timings"] = dict(self.timings_)
+        return result
 
     def fit_predict(
         self,

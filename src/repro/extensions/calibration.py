@@ -18,11 +18,14 @@ This module measures that:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ..fusion.result import FusionResult
 from ..fusion.types import ObjectId, Value
+
+PosteriorSource = Union[Mapping[ObjectId, Mapping[Value, float]], FusionResult]
 
 
 @dataclass
@@ -37,9 +40,24 @@ class ReliabilityPoint:
 
 
 def _predictions_with_confidence(
-    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    posteriors: PosteriorSource,
     truth: Mapping[ObjectId, Value],
 ) -> List[Tuple[float, bool]]:
+    if isinstance(posteriors, FusionResult):
+        result = posteriors
+        if result.has_arrays:
+            # Array fast path: MAP confidence and values straight from the
+            # posterior matrix / value codes, no per-object dict views.
+            index = result.position_index()
+            objects = [obj for obj in truth if obj in index]
+            positions = np.asarray([index[obj] for obj in objects], dtype=np.int64)
+            confidence = result.confidence_vector()[positions]
+            predicted = result.predicted_values(positions)
+            return [
+                (float(c), value == truth[obj])
+                for obj, c, value in zip(objects, confidence, predicted)
+            ]
+        posteriors = result.posteriors or {}
     pairs: List[Tuple[float, bool]] = []
     for obj, expected in truth.items():
         dist = posteriors.get(obj)
@@ -51,7 +69,7 @@ def _predictions_with_confidence(
 
 
 def reliability_curve(
-    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    posteriors: PosteriorSource,
     truth: Mapping[ObjectId, Value],
     n_buckets: int = 10,
 ) -> List[ReliabilityPoint]:
@@ -85,7 +103,7 @@ def reliability_curve(
 
 
 def expected_calibration_error(
-    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    posteriors: PosteriorSource,
     truth: Mapping[ObjectId, Value],
     n_buckets: int = 10,
 ) -> float:
@@ -101,7 +119,7 @@ def expected_calibration_error(
 
 
 def confidence_threshold_for_precision(
-    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    posteriors: PosteriorSource,
     truth: Mapping[ObjectId, Value],
     target_precision: float,
 ) -> Optional[float]:
@@ -125,7 +143,7 @@ def confidence_threshold_for_precision(
 
 
 def coverage_at_threshold(
-    posteriors: Mapping[ObjectId, Mapping[Value, float]],
+    posteriors: PosteriorSource,
     truth: Mapping[ObjectId, Value],
     threshold: float,
 ) -> Tuple[float, float]:

@@ -20,12 +20,16 @@ fitted accuracy estimates:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Union
 
 import numpy as np
+from scipy.stats import norm
 
 from ..fusion.dataset import FusionDataset, subset_sources
+from ..fusion.result import FusionResult
 from ..fusion.types import DatasetError, SourceId
+
+AccuracySource = Union[Mapping[SourceId, float], np.ndarray, FusionResult]
 
 
 @dataclass
@@ -37,9 +41,35 @@ class SelectionStep:
     marginal_gain: float
 
 
+def accuracy_vector_for(
+    dataset: FusionDataset,
+    accuracies: AccuracySource,
+    default: float = 0.5,
+) -> np.ndarray:
+    """Per-source accuracy vector aligned to the dataset's source indices.
+
+    ``accuracies`` may be a plain mapping, an already-aligned vector, or a
+    :class:`FusionResult` (whose :attr:`source_accuracy_vector` is used
+    directly when its sources match the dataset's).  Missing sources get
+    ``default``.
+    """
+    if isinstance(accuracies, FusionResult):
+        vector = accuracies.source_accuracy_vector
+        if vector is not None and accuracies.source_ids == dataset.sources.items:
+            return np.where(np.isnan(vector), default, vector)
+        accuracies = accuracies.source_accuracies or {}
+    if isinstance(accuracies, np.ndarray):
+        if accuracies.shape[0] != dataset.n_sources:
+            raise DatasetError("accuracy vector must align with dataset sources")
+        return np.where(np.isnan(accuracies), default, accuracies)
+    return np.asarray(
+        [float(accuracies.get(source, default)) for source in dataset.sources.items]
+    )
+
+
 def rank_sources(
     dataset: FusionDataset,
-    accuracies: Mapping[SourceId, float],
+    accuracies: AccuracySource,
     coverage_weight: float = 1.0,
 ) -> List[SourceId]:
     """Sources ordered by ``accuracy * coverage^coverage_weight`` (desc).
@@ -49,52 +79,54 @@ def rank_sources(
     """
     counts = dataset.source_observation_counts()
     total = float(counts.sum()) or 1.0
-
-    def score(source: SourceId) -> float:
-        idx = dataset.sources.index(source)
-        coverage = counts[idx] / total
-        return float(accuracies.get(source, 0.5)) * coverage**coverage_weight
-
-    return sorted(dataset.sources.items, key=score, reverse=True)
+    coverage = counts / total
+    scores = accuracy_vector_for(dataset, accuracies) * coverage**coverage_weight
+    # Stable descending order matches the previous sorted(..., reverse=True).
+    order = np.argsort(-scores, kind="stable")
+    sources = dataset.sources.items
+    return [sources[i] for i in order]
 
 
 def coverage_utility(
     dataset: FusionDataset,
     selected: Sequence[SourceId],
-    accuracies: Mapping[SourceId, float],
+    accuracies: AccuracySource,
 ) -> float:
     """Expected number of objects the selected sources resolve correctly.
 
     Uses the optimizer's independent-votes model: an object observed by
     sources with accuracies ``a_1..a_m`` is resolved with probability
     equal to a weighted-majority success estimate; unobserved objects
-    count 0.  This is a cheap proxy — no fusion run needed per candidate.
+    count 0.  This is a cheap proxy — no fusion run needed per candidate —
+    computed as array reductions over the dataset's observation index
+    (greedy selection evaluates it O(budget * pool) times).
     """
-    chosen = set(selected)
-    total = 0.0
-    for o_idx in range(dataset.n_objects):
-        rows = dataset.object_observation_rows(o_idx)
-        accs = [
-            float(accuracies.get(dataset.sources.item(int(dataset.obs_source_idx[r])), 0.5))
-            for r in rows
-            if dataset.sources.item(int(dataset.obs_source_idx[r])) in chosen
-        ]
-        if not accs:
-            continue
-        # success proxy: P(average-vote leans correct) via normal approx
-        mean = float(np.mean(accs))
-        m = len(accs)
-        variance = max(mean * (1.0 - mean) / m, 1e-9)
-        z = (mean - 0.5) / np.sqrt(variance)
-        from scipy.stats import norm
-
-        total += float(norm.cdf(z))
-    return total
+    accuracy = accuracy_vector_for(dataset, accuracies)
+    chosen = np.zeros(dataset.n_sources, dtype=bool)
+    for source in selected:
+        chosen[dataset.sources.index(source)] = True
+    include = chosen[dataset.obs_source_idx]
+    counts = np.bincount(
+        dataset.obs_object_idx, weights=include.astype(float), minlength=dataset.n_objects
+    )
+    sums = np.bincount(
+        dataset.obs_object_idx,
+        weights=include * accuracy[dataset.obs_source_idx],
+        minlength=dataset.n_objects,
+    )
+    observed = counts > 0
+    if not np.any(observed):
+        return 0.0
+    mean = sums[observed] / counts[observed]
+    variance = np.maximum(mean * (1.0 - mean) / counts[observed], 1e-9)
+    z = (mean - 0.5) / np.sqrt(variance)
+    # success proxy: P(average-vote leans correct) via normal approx
+    return float(np.sum(norm.cdf(z)))
 
 
 def greedy_select(
     dataset: FusionDataset,
-    accuracies: Mapping[SourceId, float],
+    accuracies: AccuracySource,
     budget: int,
     candidates: Optional[Sequence[SourceId]] = None,
 ) -> List[SelectionStep]:

@@ -164,17 +164,25 @@ class StreamingFuser:
             self.observe(observation)
         return self
 
-    def to_result(self) -> FusionResult:
-        """Snapshot the current state as a standard fusion result."""
+    def to_result(self, dataset: Optional[FusionDataset] = None) -> FusionResult:
+        """Snapshot the current state as a standard fusion result.
+
+        Pass the replayed ``dataset`` to also attach the array backing
+        (value codes against the dataset's domains), so downstream metric
+        evaluation uses the ``value_codes`` fast path instead of dict scans.
+        """
         values = {obj: self.current_value(obj) for obj in self._scores}
         posteriors = {obj: self.posterior(obj) for obj in self._scores}
-        return FusionResult(
+        result = FusionResult(
             values=values,
             posteriors=posteriors,
             source_accuracies=self.source_accuracies(),
             method="streaming",
             diagnostics={"n_processed": self.n_processed},
         )
+        if dataset is not None:
+            result.attach_dataset(dataset)
+        return result
 
 
 def replay_dataset(
@@ -191,4 +199,4 @@ def replay_dataset(
         fuser._truth[obj] = value
     for index in order:
         fuser.observe(dataset.observations[int(index)])
-    return fuser.to_result()
+    return fuser.to_result(dataset)

@@ -50,6 +50,29 @@ def object_value_accuracy(
     return correct / len(population)
 
 
+def value_accuracy_from_codes(
+    predicted_codes: np.ndarray,
+    truth_codes: np.ndarray,
+    positions: np.ndarray,
+    extra_correct: int = 0,
+) -> float:
+    """Accuracy over ``positions`` from within-domain value codes.
+
+    The array-native counterpart of :func:`object_value_accuracy` used by
+    array-backed :class:`~repro.fusion.result.FusionResult` instances:
+    ``predicted_codes`` / ``truth_codes`` are per-object value codes (-1 =
+    no in-domain value), ``positions`` the evaluation population as object
+    indices.  ``extra_correct`` credits matches resolved outside the code
+    space (out-of-domain overrides compared as values by the caller).
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size == 0:
+        return float("nan")
+    predicted = predicted_codes[positions]
+    matched = (predicted >= 0) & (predicted == truth_codes[positions])
+    return (int(np.count_nonzero(matched)) + extra_correct) / positions.size
+
+
 def source_accuracy_error(
     estimated: Mapping[SourceId, float],
     true: Mapping[SourceId, float],

@@ -224,6 +224,67 @@ class CorrectnessObjective:
             parts.append(np.asarray([float(np.sum(residual))]))
         return np.concatenate(parts) + self._l2 * w
 
+    def newton_direction(self, w: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Exact Newton direction ``-H(w)^{-1} grad`` via block elimination.
+
+        The loss touches the parameters only through one logistic score per
+        source, ``z_s = w_s + F_s w_K + b``, so the Hessian has arrowhead
+        structure: a diagonal source block ``A = D + l2`` (``D_s`` the
+        aggregated ``ω p (1-p)`` curvature of source ``s``) bordered by the
+        ``K+1`` shared columns.  Eliminating the source block reduces the
+        solve to a dense ``(K+1) x (K+1)`` Schur system — ``O(S K^2)`` total,
+        independent of the number of samples.  This is what makes a damped
+        Newton M-step cheaper than any first-order solve: two or three of
+        these directions reach the convex M-step's optimum to ~1e-12.
+
+        Raises ``np.linalg.LinAlgError`` when the Schur system is singular
+        (callers fall back to a gradient-based direction).
+        """
+        w_src, w_feat, _, bias = self.layout.split(w)
+        n_sources = self.layout.n_sources
+        z = self._scores(w)
+        p = sigmoid(z)
+        curvature = self.sample_weights * p * (1.0 - p) / self._weight_total
+        d = np.bincount(self.source_idx, weights=curvature, minlength=n_sources)
+
+        a = np.maximum(d + self._l2[:n_sources], 1e-12)
+        g_src = grad[:n_sources]
+        scaled = d / a  # D A^{-1}
+        e = d * (1.0 - scaled)  # D - D^2/A
+
+        features = self.design
+        n_shared = self.layout.n_features + int(self.layout.intercept)
+        if n_shared == 0:
+            return -grad / a
+        columns = []
+        if self.layout.n_features:
+            columns.append(features)
+        if self.layout.intercept:
+            columns.append(np.ones((n_sources, 1)))
+        shared = np.hstack(columns)  # S x (K[+1])
+        l2_shared = np.concatenate(
+            [
+                self._l2[n_sources : n_sources + self.layout.n_features],
+                np.zeros(int(self.layout.intercept)),
+            ]
+        )
+        schur = shared.T @ (e[:, None] * shared) + np.diag(l2_shared)
+        g_shared_parts = [grad[n_sources : n_sources + self.layout.n_features]]
+        if self.layout.intercept:
+            g_shared_parts.append(grad[-1:])
+        g_shared = np.concatenate(g_shared_parts)
+        rhs = -g_shared + shared.T @ (scaled * g_src)
+        delta_shared = np.linalg.solve(schur, rhs)
+        delta_src = (-g_src - d * (shared @ delta_shared)) / a
+        parts = [delta_src]
+        if self.layout.n_features:
+            parts.append(delta_shared[: self.layout.n_features])
+        if self.layout.n_extra:
+            parts.append(np.zeros(self.layout.n_extra))
+        if self.layout.intercept:
+            parts.append(delta_shared[-1:])
+        return np.concatenate(parts)
+
 
 class ConditionalObjective:
     """Negative conditional log-likelihood of labeled objects (Equation 4).

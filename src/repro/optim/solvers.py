@@ -65,12 +65,15 @@ def minimize_lbfgs(
     max_iterations: int = 500,
     tolerance: float = 1e-8,
     bounds: Optional[list] = None,
+    gtol: float = 1e-8,
 ) -> SolverResult:
     """Minimize a smooth objective with L-BFGS-B.
 
     ``bounds`` is an optional per-parameter list of ``(low, high)`` pairs
     (``None`` endpoints = unbounded), e.g. to constrain copying weights to
-    be non-negative.
+    be non-negative.  ``tolerance``/``gtol`` map to scipy's ``ftol``/``pgtol``
+    stopping rules; tighten both to drive the solve to the exact optimum
+    (the solver-equivalence tests do).
     """
     start = np.zeros(objective.n_params) if w0 is None else np.asarray(w0, dtype=float)
     result = optimize.minimize(
@@ -79,7 +82,7 @@ def minimize_lbfgs(
         jac=True,
         method="L-BFGS-B",
         bounds=bounds,
-        options={"maxiter": max_iterations, "ftol": tolerance, "gtol": 1e-8},
+        options={"maxiter": max_iterations, "ftol": tolerance, "gtol": gtol},
     )
     return SolverResult(
         w=np.asarray(result.x, dtype=float),
@@ -87,6 +90,174 @@ def minimize_lbfgs(
         n_iterations=int(result.nit),
         converged=bool(result.success),
     )
+
+
+@dataclass
+class LBFGSMemory:
+    """Curvature memory carried across warm-started L-BFGS solves.
+
+    Holds the limited-memory ``(s, y)`` displacement/gradient-change pairs
+    of :func:`minimize_lbfgs_warm`.  Passing the same instance to a sequence
+    of solves on *slowly changing* objectives (the EM M-steps: only the soft
+    labels move between rounds, so the Hessian drifts smoothly) lets each
+    solve start from the previous inverse-Hessian approximation instead of
+    a cold identity scaling — after the first EM rounds the M-step typically
+    converges in one or two iterations.
+    """
+
+    max_pairs: int = 10
+    s: list = None  # type: ignore[assignment]
+    y: list = None  # type: ignore[assignment]
+    rho: list = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.s is None:
+            self.s = []
+        if self.y is None:
+            self.y = []
+        if self.rho is None:
+            self.rho = []
+
+    def reset(self) -> None:
+        self.s.clear()
+        self.y.clear()
+        self.rho.clear()
+
+    def push(self, s_vec: np.ndarray, y_vec: np.ndarray) -> None:
+        """Store a curvature pair, dropping the oldest beyond ``max_pairs``."""
+        curvature = float(s_vec @ y_vec)
+        if curvature <= 1e-10 * float(np.linalg.norm(s_vec) * np.linalg.norm(y_vec)):
+            return  # skip non-positive curvature (keeps H positive definite)
+        self.s.append(s_vec)
+        self.y.append(y_vec)
+        self.rho.append(1.0 / curvature)
+        if len(self.s) > self.max_pairs:
+            self.s.pop(0)
+            self.y.pop(0)
+            self.rho.pop(0)
+
+    def direction(self, grad: np.ndarray) -> np.ndarray:
+        """Two-loop recursion: ``-H grad`` under the stored pairs."""
+        q = -grad.copy()
+        if not self.s:
+            return q
+        alphas = []
+        for s_vec, y_vec, rho in zip(reversed(self.s), reversed(self.y), reversed(self.rho)):
+            alpha = rho * float(s_vec @ q)
+            alphas.append(alpha)
+            q -= alpha * y_vec
+        gamma = float(self.s[-1] @ self.y[-1]) / float(self.y[-1] @ self.y[-1])
+        q *= gamma
+        for s_vec, y_vec, rho, alpha in zip(self.s, self.y, self.rho, reversed(alphas)):
+            beta = rho * float(y_vec @ q)
+            q += (alpha - beta) * s_vec
+        return q
+
+
+def minimize_lbfgs_warm(
+    objective: Objective,
+    w0: np.ndarray,
+    memory: Optional[LBFGSMemory] = None,
+    max_iterations: int = 500,
+    gtol: float = 1e-8,
+    ftol: float = 1e-9,
+) -> SolverResult:
+    """Warm-startable limited-memory BFGS with Armijo backtracking.
+
+    A dependency-light L-BFGS whose curvature memory is owned by the
+    *caller*: pass the same :class:`LBFGSMemory` across a sequence of
+    solves (the EM M-steps) and each solve continues from the previous
+    inverse-Hessian approximation.  This removes the per-call setup cost of
+    ``scipy.optimize.minimize`` — the dominant per-round cost of vectorized
+    EM once the sufficient-statistics reduction has shrunk the data term —
+    while converging to the same unique minimizer of the convex M-step.
+
+    Stops when ``max|grad| <= gtol`` or the relative objective decrease
+    falls below ``ftol`` — the same pair of criteria (and the same defaults)
+    as the scipy reference path, so both solvers terminate at comparable
+    precision; with both tightened they converge to the identical unique
+    minimizer of the convex M-step (asserted at ``atol=1e-8`` in the
+    equivalence tests).
+    """
+    memory = memory if memory is not None else LBFGSMemory()
+    w = np.asarray(w0, dtype=float).copy()
+    if memory.s and memory.s[-1].shape[0] != w.shape[0]:
+        memory.reset()  # objective dimensionality changed; stale memory
+    value, grad = objective.value_and_grad(w)
+    for iteration in range(max_iterations):
+        if float(np.max(np.abs(grad))) <= gtol:
+            return SolverResult(w=w, value=value, n_iterations=iteration, converged=True)
+        direction = memory.direction(grad)
+        descent = float(grad @ direction)
+        if descent >= 0.0:
+            # Stale curvature from a drifted objective: fall back to the
+            # steepest-descent direction for this iteration.
+            memory.reset()
+            direction = -grad
+            descent = float(grad @ direction)
+        step = 1.0
+        for _ in range(40):
+            candidate = w + step * direction
+            candidate_value, candidate_grad = objective.value_and_grad(candidate)
+            if candidate_value <= value + 1e-4 * step * descent:
+                break
+            step *= 0.5
+        else:  # pragma: no cover - pathological objective
+            return SolverResult(w=w, value=value, n_iterations=iteration, converged=False)
+        memory.push(candidate - w, candidate_grad - grad)
+        improvement = value - candidate_value
+        w, value, grad = candidate, candidate_value, candidate_grad
+        if improvement <= ftol * max(1.0, abs(value)):
+            return SolverResult(w=w, value=value, n_iterations=iteration + 1, converged=True)
+    return SolverResult(w=w, value=value, n_iterations=max_iterations, converged=False)
+
+
+def minimize_newton(
+    objective,
+    w0: np.ndarray,
+    max_iterations: int = 50,
+    gtol: float = 1e-10,
+    ftol: float = 0.0,
+) -> SolverResult:
+    """Damped Newton iteration for objectives exposing ``newton_direction``.
+
+    Each iteration asks the objective for the exact Newton direction
+    (e.g. :meth:`CorrectnessObjective.newton_direction`, an O(S K^2)
+    structured solve) and applies Armijo backtracking for global
+    convergence.  Near the optimum the full step is always accepted and
+    convergence is quadratic, so warm-started solves (EM M-steps) finish
+    in one or two iterations; the stopping rule is *gradient-based*, which
+    — unlike objective-decrease rules — keeps making progress below the
+    double-precision plateau of the objective value and reaches gradient
+    norms around 1e-12.
+
+    A singular structured solve raises ``np.linalg.LinAlgError``; callers
+    (the EM M-step) fall back to :func:`minimize_lbfgs_warm`.
+    """
+    w = np.asarray(w0, dtype=float).copy()
+    value, grad = objective.value_and_grad(w)
+    for iteration in range(max_iterations):
+        if float(np.max(np.abs(grad))) <= gtol:
+            return SolverResult(w=w, value=value, n_iterations=iteration, converged=True)
+        direction = objective.newton_direction(w, grad)
+        descent = float(grad @ direction)
+        if descent >= 0.0:  # pragma: no cover - degenerate Hessian
+            direction = -grad
+            descent = float(grad @ direction)
+        step = 1.0
+        for _ in range(40):
+            candidate = w + step * direction
+            candidate_value, candidate_grad = objective.value_and_grad(candidate)
+            if candidate_value <= value + 1e-4 * step * descent:
+                break
+            step *= 0.5
+        else:  # pragma: no cover - pathological objective
+            return SolverResult(w=w, value=value, n_iterations=iteration, converged=False)
+        improvement = value - candidate_value
+        w, value, grad = candidate, candidate_value, candidate_grad
+        if ftol > 0.0 and improvement <= ftol * max(1.0, abs(value)):
+            return SolverResult(w=w, value=value, n_iterations=iteration + 1, converged=True)
+    return SolverResult(w=w, value=value, n_iterations=max_iterations, converged=False)
 
 
 def gradient_descent(

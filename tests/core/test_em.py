@@ -160,3 +160,29 @@ class TestEMConfig:
         )
         model = learner.fit(dense_instance.dataset, {})
         assert np.all(np.isfinite(model.accuracies()))
+
+
+class TestWarmSolver:
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            EMLearner(EMConfig(solver="newton-raphson"))
+
+    def test_warm_solver_recovers_object_values(self, dense_instance):
+        ds = dense_instance.dataset
+        model = EMLearner(EMConfig(use_features=False, solver="lbfgs-warm")).fit(ds, {})
+        values = map_assignment(posteriors(ds, model))
+        assert object_value_accuracy(values, ds.ground_truth) > 0.9
+
+    def test_warm_solver_traces_convergence(self, dense_instance):
+        ds = dense_instance.dataset
+        learner = EMLearner(EMConfig(solver="lbfgs-warm"))
+        learner.fit(ds, {})
+        assert learner.trace_ is not None
+        assert learner.trace_.converged
+        assert learner.trace_.accuracy_deltas[-1] < learner.config.tolerance
+
+    def test_warm_matches_scipy_on_default_tolerances(self, dense_instance):
+        ds = dense_instance.dataset
+        scipy_model = EMLearner(EMConfig(solver="lbfgs")).fit(ds, {})
+        warm_model = EMLearner(EMConfig(solver="lbfgs-warm")).fit(ds, {})
+        np.testing.assert_allclose(warm_model.accuracies(), scipy_model.accuracies(), atol=5e-3)

@@ -29,3 +29,75 @@ class TestFusionResult:
 
     def test_diagnostics_default_empty(self):
         assert FusionResult(values={}).diagnostics == {}
+
+
+class TestStrictAccuracyPopulation:
+    def test_rejects_objects_missing_from_ground_truth(self, tiny_dataset):
+        result = FusionResult(values={"gigyf2": "false", "gba": "true"})
+        with pytest.raises(ValueError, match="no ground truth"):
+            result.accuracy(tiny_dataset, ["gba", "not-an-object"])
+
+    def test_error_names_the_offending_objects(self, tiny_dataset):
+        result = FusionResult(values={"gigyf2": "false"})
+        with pytest.raises(ValueError, match="mystery"):
+            result.accuracy(tiny_dataset, ["mystery"])
+
+    def test_full_population_still_works(self, tiny_dataset):
+        result = FusionResult(values={"gigyf2": "false", "gba": "true"})
+        assert result.accuracy(tiny_dataset) == 1.0
+
+
+class TestLazyViews:
+    def test_dict_constructor_requires_values(self):
+        with pytest.raises(TypeError, match="values"):
+            FusionResult()
+
+    def test_array_accessors_unavailable_without_backing(self):
+        result = FusionResult(values={"o": "v"})
+        assert not result.has_arrays
+        with pytest.raises(ValueError, match="attach_dataset"):
+            _ = result.value_codes
+
+    def test_attach_dataset_builds_codes_and_matrix(self, tiny_dataset):
+        result = FusionResult(
+            values={"gigyf2": "false", "gba": "true"},
+            posteriors={
+                "gigyf2": {"false": 0.8, "true": 0.2},
+                "gba": {"true": 1.0},
+            },
+            source_accuracies={"a1": 0.9, "a2": 0.4, "a3": 0.9},
+        )
+        result.attach_dataset(tiny_dataset)
+        assert result.has_arrays
+        assert result.object_ids == ["gigyf2", "gba"]
+        assert result.predicted_values() == ["false", "true"]
+        assert result.posterior_matrix[0][0] == 0.8  # "false" is first-seen
+        assert result.source_accuracy_vector is not None
+        assert result.accuracy(tiny_dataset) == 1.0
+
+    def test_attach_keeps_out_of_domain_values_as_overrides(self, tiny_dataset):
+        result = FusionResult(values={"gigyf2": "UNKNOWN", "gba": "true"})
+        result.attach_dataset(tiny_dataset)
+        assert result.overrides == {"gigyf2": "UNKNOWN"}
+        assert result.value_codes[0] == -1
+        assert result.accuracy(tiny_dataset) == 0.5
+
+    def test_views_are_cached(self, tiny_dataset):
+        result = FusionResult(values={"gigyf2": "false"})
+        assert result.values is result.values
+
+    def test_equality_across_backings(self, tiny_dataset):
+        dict_backed = FusionResult(values={"gigyf2": "false", "gba": "true"})
+        attached = FusionResult(values={"gigyf2": "false", "gba": "true"})
+        attached.attach_dataset(tiny_dataset)
+        assert dict_backed == attached
+        assert dict_backed != FusionResult(values={"gigyf2": "true", "gba": "true"})
+
+    def test_duplicate_population_consistent_across_backings(self, tiny_dataset):
+        attached = FusionResult(values={"gigyf2": "false", "gba": "true"})
+        attached.attach_dataset(tiny_dataset)
+        plain = FusionResult(values={"gigyf2": "false", "gba": "true"})
+        population = ["gba", "gba", "gigyf2"]
+        assert attached.accuracy(tiny_dataset, population) == plain.accuracy(
+            tiny_dataset, population
+        )
