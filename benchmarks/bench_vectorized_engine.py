@@ -3,10 +3,13 @@
 Times the hot paths that the dense-encoding layer (``repro.fusion.encoding``)
 rewrote — posterior queries, array-native fusion-result packaging, the EM
 E-step and full EM/ERM fits (including the warm-started second-order
-M-step) — under both backends, and writes a ``BENCH_inference.json``
-trajectory artifact with per-case median runtimes and speedups.  The
-per-factor reference Gibbs comparison runs only in full (non-smoke) mode;
-its equivalence is covered by the test suite.
+M-step) — under both backends, plus the ``sweep_16`` case: a 16-point EM
+sweep run by the batched ``SweepRunner`` versus sequential isolated fits
+(its "reference" column is the isolated per-fit path, not the loop
+backend).  Writes a ``BENCH_inference.json`` trajectory artifact with
+per-case median runtimes and speedups.  The per-factor reference Gibbs
+comparison runs only in full (non-smoke) mode; its equivalence is covered
+by the test suite.
 
 Usage::
 
@@ -118,9 +121,9 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
 
     cases = []
 
-    def case(name: str, reference, vectorized) -> None:
-        ref_s = _median_time(reference, repeats)
-        vec_s = _median_time(vectorized, repeats)
+    def case(name: str, reference, vectorized, case_repeats=None) -> None:
+        ref_s = _median_time(reference, case_repeats or repeats)
+        vec_s = _median_time(vectorized, case_repeats or repeats)
         cases.append(
             {
                 "name": name,
@@ -217,6 +220,35 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
         "erm_fit",
         lambda: ERMLearner(backend="reference").fit(dataset, truth),
         lambda: ERMLearner(backend="vectorized").fit(dataset, truth),
+    )
+
+    # 16-point EM sweep (train fractions x ridge strengths) over one
+    # dataset: the batched SweepRunner (shared encoding/structure, cached
+    # label/clamp plans, cached re-reduced objective, warm-start handoff,
+    # contracted lbfgs-warm M-step) versus sequential isolated fits on the
+    # existing per-fit path.  Multi-second arms, so fewer timing repeats.
+    from repro.experiments.sweeps import FitSpec, SweepRunner
+
+    sweep_rounds = 3
+    sweep_specs = [
+        FitSpec(
+            name=f"em@{fraction}:l2={l2}",
+            learner="em",
+            train_truth=dataset.split(fraction, seed=0).train_truth,
+            overrides={
+                "max_iterations": sweep_rounds,
+                "tolerance": 0.0,
+                "l2_sources": l2,
+            },
+        )
+        for fraction in (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40)
+        for l2 in (2.0, 4.0)
+    ]
+    case(
+        "sweep_16",
+        lambda: SweepRunner(dataset, mode="isolated").run(sweep_specs),
+        lambda: SweepRunner(dataset, mode="batched").run(sweep_specs),
+        case_repeats=min(repeats, 3),
     )
 
     if not smoke:

@@ -29,7 +29,10 @@ Package map:
 * :mod:`repro.factorgraph` — factor-graph engine (DeepDive substrate).
 * :mod:`repro.optim` — objectives and solvers (L-BFGS, FISTA, SGD).
 * :mod:`repro.data` — synthetic generators and paper-dataset simulators.
-* :mod:`repro.experiments` — harness regenerating every paper table/figure.
+* :mod:`repro.experiments` — harness regenerating every paper table/figure,
+  plus the batched multi-fit sweep engine
+  (:class:`~repro.experiments.sweeps.SweepRunner`: one dataset compile
+  shared by every fit of a parameter sweep, with warm-start handoff).
 
 Execution backends
 ------------------
@@ -56,7 +59,8 @@ the CI regression baseline with::
         --output benchmarks/BENCH_inference.json                           # refresh CI baseline
 
 CI (``.github/workflows/ci.yml``) runs the tier-1 suite on Python
-3.9/3.11, ruff lint, and the smoke benchmark gated against the committed
+3.9/3.11/3.12, ruff lint + format, a docs build with a README code-block
+smoke, and the smoke benchmark gated against the committed
 ``benchmarks/BENCH_inference.json`` (>20% speedup regression fails).
 """
 

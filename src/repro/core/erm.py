@@ -34,7 +34,7 @@ from ..optim.objectives import (
 )
 from ..optim.solvers import SolverResult, fista, minimize_lbfgs, sgd
 from .model import AccuracyModel, model_from_flat
-from .structure import build_pair_structure
+from .structure import PairStructure, build_pair_structure
 
 
 @dataclass
@@ -113,6 +113,35 @@ def correctness_training_pairs(
     return source_idx, label_values
 
 
+def correctness_pairs_from_structure(
+    structure: PairStructure,
+    truth: Mapping[ObjectId, Value],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Correctness training pairs derived from a prebuilt candidate structure.
+
+    Equivalent to :func:`correctness_training_pairs` restricted to the
+    observations the structure covers (up to sample order, which the
+    per-source reduction erases): observations on objects present in
+    ``truth`` are labeled 1 when they vote for the truth row and 0
+    otherwise — including objects whose true value no surviving source
+    claims, whose observations are all incorrect.  This is what lets a
+    source-masked (leave-one-source-out) structure drive an ERM fit without
+    rebuilding a subset dataset.
+    """
+    truth = {obj: value for obj, value in truth.items() if value is not None}
+    label_rows = structure.label_rows(dict(truth))
+    if structure.encoding is not None:
+        labeled_all, _ = structure.encoding.truth_codes(truth)
+        labeled_pos = labeled_all[structure.object_dataset_idx]
+    else:
+        labeled_pos = np.asarray([obj in truth for obj in structure.object_ids], dtype=bool)
+    obs_positions = structure.pair_object_pos[structure.obs_pair_idx]
+    take = labeled_pos[obs_positions]
+    source_idx = structure.obs_source_idx[take]
+    labels = (structure.obs_pair_idx[take] == label_rows[obs_positions[take]]).astype(float)
+    return source_idx, labels
+
+
 class ERMLearner:
     """Fits SLiMFast's accuracy model by empirical risk minimization."""
 
@@ -126,6 +155,7 @@ class ERMLearner:
             raise ValueError(f"unknown solver {base.solver!r}")
         check_backend(base.backend)
         self.config = base
+        self.solver_result_: Optional[SolverResult] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -135,15 +165,28 @@ class ERMLearner:
         design: Optional[np.ndarray] = None,
         feature_space: Optional[FeatureSpace] = None,
         w0: Optional[np.ndarray] = None,
+        structure: Optional[PairStructure] = None,
     ) -> AccuracyModel:
         """Learn model weights from ground truth ``truth``.
 
         ``design``/``feature_space`` may be passed to reuse a pre-built
         feature encoding (the facade does this to share one encoding across
-        learners); otherwise they are built from the dataset.
+        learners); otherwise they are built from the dataset.  ``structure``
+        restricts a correctness-objective fit to the observations of a
+        prebuilt (possibly source-masked) candidate structure — the sweep
+        engine's leave-one-source-out path; ``w0`` warm-starts the convex
+        solve (same optimum, fewer iterations).  The final
+        :class:`~repro.optim.solvers.SolverResult` is published as
+        :attr:`solver_result_`.
         """
         if not truth:
             raise DatasetError("ERM requires at least one ground-truth label")
+        if structure is not None and self.config.objective != "correctness":
+            raise ValueError("a prebuilt structure requires the correctness objective")
+        if structure is not None and self.config.solver == "sgd":
+            # SGD consumes per-observation samples whose order the structure
+            # does not preserve; keep the bitwise-reproducible dataset path.
+            raise ValueError("a prebuilt structure requires a deterministic solver")
         if design is None or feature_space is None:
             if self.config.backend == "vectorized":
                 design, feature_space = encode_dataset(dataset).design(self.config.use_features)
@@ -153,13 +196,14 @@ class ERMLearner:
                 )
 
         if self.config.objective == "correctness":
-            objective = self._correctness_objective(dataset, truth, design)
+            objective = self._correctness_objective(dataset, truth, design, structure)
             n_samples = objective.n_samples
         else:
             objective = self._conditional_objective(dataset, truth, design)
             n_samples = None
 
         result = self._solve(objective, n_samples, w0)
+        self.solver_result_ = result
         model = model_from_flat(
             result.w,
             dataset,
@@ -175,8 +219,14 @@ class ERMLearner:
         dataset: FusionDataset,
         truth: Mapping[ObjectId, Value],
         design: np.ndarray,
+        structure: Optional[PairStructure] = None,
     ) -> CorrectnessObjective:
-        source_idx, labels = correctness_training_pairs(dataset, truth, backend=self.config.backend)
+        if structure is not None:
+            source_idx, labels = correctness_pairs_from_structure(structure, truth)
+        else:
+            source_idx, labels = correctness_training_pairs(
+                dataset, truth, backend=self.config.backend
+            )
         if source_idx.size == 0:
             raise DatasetError("no observations overlap the provided ground truth")
         sample_weights = None

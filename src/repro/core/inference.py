@@ -192,6 +192,28 @@ def map_rows(
     return assignment
 
 
+def clamp_rows(structure: PairStructure, label_rows: np.ndarray) -> np.ndarray:
+    """Candidate rows the E-step clamp must zero out, precomputed once.
+
+    For each labeled object (``label_rows[position] >= 0``) these are the
+    rows of its block *except* the row of its true value.  Masking their
+    scores to ``-inf`` before the segmented softmax yields the clamped
+    posterior (an exact point mass on the label row) in the same pass as
+    the softmax itself — no post-hoc scatter per EM round.  The row set
+    depends only on (structure, truth), so EM computes it once and reuses
+    it across every round (see :func:`expected_correctness`).
+    """
+    labeled_positions = np.flatnonzero(label_rows >= 0)
+    if labeled_positions.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = structure.pair_offsets[labeled_positions]
+    lengths = structure.pair_offsets[labeled_positions + 1] - starts
+    blocked = np.zeros(structure.n_pairs, dtype=bool)
+    blocked[expand_spans(starts, lengths)] = True
+    blocked[label_rows[labeled_positions]] = False
+    return np.flatnonzero(blocked)
+
+
 def expected_correctness(
     structure: PairStructure,
     trust: np.ndarray,
@@ -199,6 +221,7 @@ def expected_correctness(
     extra_scores: Optional[np.ndarray] = None,
     domain_correction: bool = True,
     backend: str = "vectorized",
+    blocked_rows: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-observation posterior probability that the claim is correct.
 
@@ -206,22 +229,32 @@ def expected_correctness(
     mass of the value it claims, with ground-truth objects clamped to their
     label row.  Returns ``(q_obs, row_probs)`` where ``q_obs`` aligns with
     ``structure.obs_*`` arrays.
+
+    On the vectorized backend the clamp is *fused* into the segmented
+    softmax: the non-label rows of labeled objects (``blocked_rows``,
+    precomputed by :func:`clamp_rows` or derived here when omitted) are
+    masked to ``-inf`` score, so one softmax pass produces the clamped
+    posterior directly.  The result is bit-identical to the reference
+    post-hoc scatter: a labeled object's block softmaxes over a single
+    finite score, giving exactly 1.0 on the label row and 0.0 elsewhere.
     """
     check_backend(backend)
     scores = pair_scores(structure, trust, extra_scores, domain_correction)
-    probs = segment_softmax(scores, structure.pair_object_pos, structure.n_objects)
 
+    if backend == "vectorized":
+        if blocked_rows is None:
+            blocked_rows = clamp_rows(structure, label_rows)
+        if blocked_rows.size:
+            # pair_scores returns a fresh array; masking in place is safe.
+            scores[blocked_rows] = -np.inf
+        probs = segment_softmax(scores, structure.pair_object_pos, structure.n_objects)
+        return probs[structure.obs_pair_idx], probs
+
+    probs = segment_softmax(scores, structure.pair_object_pos, structure.n_objects)
     labeled = label_rows >= 0
     if np.any(labeled):
-        labeled_positions = np.flatnonzero(labeled)
-        if backend == "vectorized":
-            starts = structure.pair_offsets[labeled_positions]
-            lengths = structure.pair_offsets[labeled_positions + 1] - starts
-            probs[expand_spans(starts, lengths)] = 0.0
-            probs[label_rows[labeled_positions]] = 1.0
-        else:
-            for position in labeled_positions:
-                rows = structure.rows_of(int(position))
-                probs[rows.start : rows.stop] = 0.0
-                probs[label_rows[position]] = 1.0
+        for position in np.flatnonzero(labeled):
+            rows = structure.rows_of(int(position))
+            probs[rows.start : rows.stop] = 0.0
+            probs[label_rows[position]] = 1.0
     return probs[structure.obs_pair_idx], probs

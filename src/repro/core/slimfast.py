@@ -58,7 +58,11 @@ class SLiMFast:
     solver:
         M-step/ERM solver shared by both learner configs: ``"lbfgs"``
         (default), ``"lbfgs-warm"`` (EM reuses second-order state across
-        rounds; ERM treats it as ``"lbfgs"``) or ``"sgd"``.
+        rounds; ERM treats it as ``"lbfgs"``) or ``"sgd"``.  The warm
+        solver is contract-equivalent to the scipy reference — objective
+        values at atol=1e-8, accuracies near 1e-6 (see
+        :class:`~repro.core.em.EMConfig` and the :mod:`repro.core.em`
+        docstring) — and is what batched sweeps use by default.
     erm_config / em_config:
         Full learner configuration overrides; built from the scalar
         arguments when omitted.

@@ -172,6 +172,150 @@ def _build_vectorized(
     )
 
 
+def build_masked_structure(
+    dataset: FusionDataset,
+    exclude_sources: Sequence[object],
+    backend: str = "vectorized",
+) -> PairStructure:
+    """Candidate structure of ``dataset`` with some sources' votes removed.
+
+    This is the array-level counterpart of
+    :func:`repro.fusion.dataset.subset_sources`: observations from
+    ``exclude_sources`` are dropped, candidate values that lose every vote
+    disappear from their object's block, and objects left with no
+    observations are dropped entirely — the same domains and objects a
+    rebuilt subset dataset would have, but derived by pure array filtering
+    from the dataset's cached :class:`~repro.fusion.encoding.DenseEncoding`
+    instead of re-walking and re-encoding the observations.  Source indices
+    keep the *full* dataset's indexing, so one design matrix and one
+    parameter layout serve every masked fit of a leave-one-source-out
+    sweep; excluded sources simply contribute no samples.
+
+    Note the per-object value order may differ from a rebuilt subset
+    dataset (first-seen among *all* observations here versus first-seen
+    among the remaining ones), which permutes candidate rows within an
+    object's block but leaves every posterior unchanged.
+
+    ``backend="reference"`` keeps an observation-walking construction as
+    the machine-checked ground truth.
+    """
+    exclude_idx = {dataset.sources.index(source) for source in exclude_sources}
+    if check_backend(backend) == "reference":
+        seen = {
+            obs.obj
+            for obs in dataset.observations
+            if dataset.sources.index(obs.source) not in exclude_idx
+        }
+        # Preserve dataset object order and original domain order.
+        kept_objects = [obj for obj in dataset.objects.items if obj in seen]
+        structure = _build_reference(dataset, kept_objects)
+        return _mask_structure_reference(structure, exclude_idx)
+
+    encoding = encode_dataset(dataset)
+    exclude = np.zeros(dataset.n_sources, dtype=bool)
+    for s_idx in exclude_idx:
+        exclude[s_idx] = True
+    keep_obs = ~exclude[encoding.obs_source_idx]
+    obs_object = encoding.obs_object_idx[keep_obs]
+    obs_source = encoding.obs_source_idx[keep_obs]
+    obs_value = encoding.obs_value_code[keep_obs]
+
+    # Remaining votes per original candidate row decide which rows (and
+    # hence which domain values) survive.
+    voted_rows = encoding.pair_offsets[obs_object] + obs_value
+    votes = np.bincount(voted_rows, minlength=encoding.n_pairs)
+    keep_row = votes > 0
+    rows_per_object = np.bincount(
+        encoding.pair_object_idx, weights=keep_row.astype(float), minlength=dataset.n_objects
+    ).astype(np.int64)
+    kept_object_idx = np.flatnonzero(rows_per_object > 0)
+
+    position_of = np.full(dataset.n_objects, -1, dtype=np.int64)
+    position_of[kept_object_idx] = np.arange(kept_object_idx.shape[0], dtype=np.int64)
+    new_row_of = np.where(keep_row, np.cumsum(keep_row) - 1, -1).astype(np.int64)
+
+    domain_sizes = rows_per_object[kept_object_idx]
+    pair_offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(domain_sizes, dtype=np.int64)]
+    )
+    kept_row_idx = np.flatnonzero(keep_row)
+    pair_object_pos = position_of[encoding.pair_object_idx[kept_row_idx]]
+    all_values = encoding.pair_values
+    pair_values = [all_values[row] for row in kept_row_idx.tolist()]
+
+    obs_pair_idx = new_row_of[voted_rows]
+    log_alternatives = np.log(np.maximum(domain_sizes - 1, 1).astype(float))
+    base_scores = np.bincount(
+        obs_pair_idx,
+        weights=log_alternatives[position_of[obs_object]],
+        minlength=int(pair_offsets[-1]),
+    )
+    object_items = dataset.objects.items
+    return PairStructure(
+        object_ids=[object_items[i] for i in kept_object_idx.tolist()],
+        object_dataset_idx=kept_object_idx,
+        pair_object_pos=pair_object_pos,
+        pair_values=pair_values,
+        pair_offsets=pair_offsets,
+        obs_source_idx=obs_source,
+        obs_pair_idx=obs_pair_idx,
+        base_scores=base_scores,
+        # The full-dataset encoding is deliberately NOT attached: its value
+        # codes index the unmasked blocks, so label_rows must fall back to
+        # value matching within the masked blocks.
+    )
+
+
+def _mask_structure_reference(structure: PairStructure, exclude_idx: set) -> PairStructure:
+    """Loop-based masking of a reference structure (ground truth)."""
+    kept = [int(s) not in exclude_idx for s in structure.obs_source_idx]
+    keep_obs = np.asarray(kept, dtype=bool)
+    votes = np.bincount(structure.obs_pair_idx[keep_obs], minlength=structure.n_pairs)
+    offsets = [0]
+    pair_object_pos: List[int] = []
+    pair_values: List[Value] = []
+    new_row_of: Dict[int, int] = {}
+    object_ids: List[ObjectId] = []
+    object_dataset_idx: List[int] = []
+    for position, obj in enumerate(structure.object_ids):
+        rows = [row for row in structure.rows_of(position) if votes[row] > 0]
+        if not rows:
+            continue
+        new_position = len(object_ids)
+        object_ids.append(obj)
+        object_dataset_idx.append(int(structure.object_dataset_idx[position]))
+        for row in rows:
+            new_row_of[row] = len(pair_values)
+            pair_object_pos.append(new_position)
+            pair_values.append(structure.pair_values[row])
+        offsets.append(offsets[-1] + len(rows))
+
+    obs_source: List[int] = []
+    obs_pair: List[int] = []
+    obs_log_alt: List[float] = []
+    domain_sizes = np.diff(np.asarray(offsets, dtype=np.int64))
+    for i in np.flatnonzero(keep_obs):
+        row = int(structure.obs_pair_idx[i])
+        new_row = new_row_of[row]
+        obs_source.append(int(structure.obs_source_idx[i]))
+        obs_pair.append(new_row)
+        obs_log_alt.append(float(np.log(max(int(domain_sizes[pair_object_pos[new_row]]) - 1, 1))))
+    obs_pair_arr = np.asarray(obs_pair, dtype=np.int64)
+    base_scores = np.bincount(
+        obs_pair_arr, weights=np.asarray(obs_log_alt, dtype=float), minlength=len(pair_values)
+    )
+    return PairStructure(
+        object_ids=object_ids,
+        object_dataset_idx=np.asarray(object_dataset_idx, dtype=np.int64),
+        pair_object_pos=np.asarray(pair_object_pos, dtype=np.int64),
+        pair_values=pair_values,
+        pair_offsets=np.asarray(offsets, dtype=np.int64),
+        obs_source_idx=np.asarray(obs_source, dtype=np.int64),
+        obs_pair_idx=obs_pair_arr,
+        base_scores=base_scores,
+    )
+
+
 def _build_reference(
     dataset: FusionDataset, objects: Optional[Sequence[ObjectId]]
 ) -> PairStructure:

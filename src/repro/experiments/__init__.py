@@ -25,6 +25,12 @@ from .paper_tables import (
     table6,
 )
 from .reporting import accuracy_matrix, format_table, series
+from .sweeps import (
+    FitSpec,
+    SweepFitResult,
+    SweepRunner,
+    leave_one_out_specs,
+)
 from .synthetic_sweeps import (
     SweepPoint,
     TradeoffCell,
@@ -71,4 +77,8 @@ __all__ = [
     "accuracy_matrix",
     "format_table",
     "series",
+    "SweepRunner",
+    "FitSpec",
+    "SweepFitResult",
+    "leave_one_out_specs",
 ]

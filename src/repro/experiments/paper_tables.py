@@ -69,11 +69,19 @@ def run_sweep(
     methods: Sequence[str] = TABLE2_METHODS,
     fractions: Sequence[float] = PAPER_FRACTIONS,
     seeds: Sequence[int] = (0, 1, 2),
+    mode: str = "batched",
 ) -> SweepReport:
-    """Run the full evaluation sweep once; reuse for Tables 2/3/5."""
+    """Run the full evaluation sweep once; reuse for Tables 2/3/5.
+
+    ``mode="batched"`` (default) shares one compiled encoding and
+    warm-start state across the SLiMFast-family fits — equivalent
+    accuracies, much faster.  Runtime *tables* (Table 5) should pass
+    ``mode="isolated"`` so ``runtime_seconds`` keeps the paper's
+    independent cold-fit semantics instead of warm amortized timings.
+    """
     results: List[RunResult] = []
     for dataset in datasets.values():
-        results.extend(sweep(dataset, methods, fractions, seeds))
+        results.extend(sweep(dataset, methods, fractions, seeds, mode=mode))
     return SweepReport(
         results=results,
         cells=aggregate(results),
@@ -134,8 +142,23 @@ def table3(report: SweepReport, methods: Sequence[str] = TABLE3_METHODS) -> str:
 
 
 def table5(report: SweepReport) -> str:
-    """Table 5: end-to-end wall-clock runtime per method."""
-    return "Table 5: wall-clock runtimes (seconds)\n\n" + report.panel("runtime_seconds")
+    """Table 5: end-to-end wall-clock runtime per method.
+
+    Reports whatever protocol the sweep ran under; when the report came
+    from a batched sweep, the rendered table says so explicitly — batched
+    SLiMFast timings share one compile and warm-start state, which is not
+    the paper's independent cold-fit protocol (pass
+    ``run_sweep(..., mode="isolated")`` for that, as the Table 5 bench
+    does).
+    """
+    caveat = ""
+    if any(r.diagnostics.get("sweep_mode") == "batched" for r in report.results):
+        caveat = (
+            "\n\nNote: SLiMFast-family rows were timed by the batched sweep "
+            "engine (shared compile, warm starts); rerun run_sweep(..., "
+            'mode="isolated") for independent cold-fit runtimes.'
+        )
+    return "Table 5: wall-clock runtimes (seconds)\n\n" + report.panel("runtime_seconds") + caveat
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,6 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..core.slimfast import SLiMFast
 from ..data.synthetic import SyntheticConfig, generate
 from ..fusion.metrics import object_value_accuracy
 
@@ -53,22 +52,35 @@ def _em_vs_erm(
     the labeled population mean instead, which is how ERM stays
     competitive on very sparse instances.  Both variants are reported by
     the Figure 4 benchmarks.
+
+    Each seed generates its own dataset, which is compiled once by a
+    batched :class:`~repro.experiments.sweeps.SweepRunner`; the EM and ERM
+    fits of that seed then share the encoding, candidate structure and
+    label/clamp plans instead of re-deriving them per fit.
     """
-    from ..core.erm import ERMConfig
+    from .sweeps import FitSpec, SweepRunner
 
     em_scores: List[float] = []
     erm_scores: List[float] = []
     for seed in seeds:
         dataset = generate(config, seed=seed).dataset
         split = dataset.split(train_fraction, seed=seed)
+        runner = SweepRunner(dataset, mode="batched")
         for learner, scores in (("em", em_scores), ("erm", erm_scores)):
-            erm_config = ERMConfig(use_features=False, intercept=erm_intercept)
-            result = SLiMFast(
-                learner=learner, use_features=False, erm_config=erm_config
-            ).fit_predict(dataset, split.train_truth)
-            scores.append(
-                object_value_accuracy(result.values, dataset.ground_truth, split.test_objects)
+            overrides = {"intercept": erm_intercept} if learner == "erm" else {}
+            fit = runner.run_one(
+                FitSpec(
+                    name=f"{learner}@seed={seed}",
+                    learner=learner,
+                    train_truth=split.train_truth,
+                    use_features=False,
+                    overrides=overrides,
+                )
             )
+            accuracy = object_value_accuracy(
+                fit.result.values, dataset.ground_truth, split.test_objects
+            )
+            scores.append(accuracy)
     return float(np.mean(em_scores)), float(np.mean(erm_scores))
 
 

@@ -28,10 +28,12 @@ from .open_world import (
     open_world_posteriors,
 )
 from .selection import (
+    LeaveOneOutImpact,
     SelectionStep,
     coverage_utility,
     evaluate_selection,
     greedy_select,
+    leave_one_out_impacts,
     rank_sources,
 )
 from .streaming import StreamingFuser, replay_dataset
@@ -51,6 +53,8 @@ __all__ = [
     "coverage_utility",
     "evaluate_selection",
     "SelectionStep",
+    "leave_one_out_impacts",
+    "LeaveOneOutImpact",
     "reliability_curve",
     "ReliabilityPoint",
     "expected_calibration_error",

@@ -198,11 +198,16 @@ class FusionResult:
         """Promote a dict-backed result to array form using ``dataset``.
 
         Computes :attr:`value_codes` (and, when posteriors exist,
-        :attr:`posterior_matrix`) from the stored dictionaries against the
-        dataset's domains, so metric evaluation over many objects runs as
-        array comparisons.  Values outside an object's claimed domain (e.g.
-        the open-world ``UNKNOWN`` marker) are kept as dict overrides with
-        code -1.  No-op for results that already carry arrays.
+        :attr:`posterior_matrix`; when source accuracies exist,
+        :attr:`source_accuracy_vector` with ``NaN`` for unestimated
+        sources) from the stored dictionaries against the dataset's
+        domains, so metric evaluation over many objects runs as array
+        comparisons.  Values outside an object's claimed domain (e.g. the
+        open-world ``UNKNOWN`` marker) are kept as dict overrides with code
+        -1.  This is a one-time O(n_objects x max_domain) pass; results
+        that already carry arrays return unchanged, so calling it
+        defensively (as the experiment harness does before scoring) is
+        cheap.  Returns ``self`` for chaining.
         """
         if self._value_codes is not None:
             return self
@@ -264,9 +269,14 @@ class FusionResult:
     def value_codes(self) -> np.ndarray:
         """Per-object MAP value code into the object's domain (-1 = override).
 
-        Aligned with :attr:`object_ids`.  Code -1 marks objects whose value
-        is outside the claimed domain (clamped unclaimed truth, open-world
-        UNKNOWN); :attr:`overrides` holds their actual values.
+        An ``int64`` array of shape ``(n_objects,)`` aligned with
+        :attr:`object_ids`; entry ``i`` indexes into the i-th object's
+        domain (first-seen claimed-value order), so decoding a code costs
+        one offset lookup (:meth:`predicted_values` bulk-decodes).  Code -1
+        marks objects whose value is outside the claimed domain (clamped
+        unclaimed truth, open-world UNKNOWN); :attr:`overrides` holds their
+        actual values.  Raises ``ValueError`` on dict-backed results — call
+        :meth:`attach_dataset` first.
         """
         if self._value_codes is None:
             raise ValueError(
@@ -281,6 +291,12 @@ class FusionResult:
 
         Row ``i`` holds ``P(T_o = d | Ω)`` over the domain codes of the
         i-th object in :attr:`object_ids`, zero-padded past ``|D_o|``.
+        Clamped objects are exact point masses on their truth code;
+        override objects (value outside the claimed domain) have an
+        all-zero row, with the point mass recorded in :attr:`overrides`
+        instead.  Only probabilistic results carry the matrix: array-backed
+        ones from construction, dict-backed ones after
+        :meth:`attach_dataset`; otherwise ``ValueError`` is raised.
         """
         if self._posterior_matrix is None:
             raise ValueError(
@@ -291,7 +307,16 @@ class FusionResult:
 
     @property
     def source_accuracy_vector(self) -> Optional[np.ndarray]:
-        """Estimated accuracy per source aligned with :attr:`source_ids`."""
+        """Estimated accuracy per source aligned with :attr:`source_ids`.
+
+        A float array of shape ``(n_sources,)``, or ``None`` for methods
+        without probabilistic accuracy estimates (e.g. CATD's reliability
+        weights).  After :meth:`attach_dataset` promotes a dict-backed
+        result, sources absent from its ``source_accuracies`` dict are
+        ``NaN`` — consumers such as
+        :func:`repro.extensions.selection.accuracy_vector_for` substitute a
+        default for those entries.
+        """
         return self._accuracy_vector
 
     @property

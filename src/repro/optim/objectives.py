@@ -149,9 +149,37 @@ class CorrectnessObjective:
         l2_features: float = 0.0,
         intercept: bool = False,
     ) -> None:
+        self.design = np.asarray(design, dtype=float)
+        self.layout = ParameterLayout(
+            n_sources=self.design.shape[0],
+            n_features=self.design.shape[1],
+            intercept=intercept,
+        )
+        # The data term is weight-normalized (a mean), so the ridge penalty
+        # is scaled by 1/total as well: l2 strengths are per-sample, like
+        # sklearn's alpha/n convention, and do not dominate small datasets.
+        # The unscaled vector is kept so update_samples can rescale when the
+        # total sample weight changes.
+        self._l2_unscaled = self.layout.l2_vector(l2_sources, l2_features)
+        self.update_samples(source_idx, labels, sample_weights)
+
+    def update_samples(
+        self,
+        source_idx: np.ndarray,
+        labels: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> "CorrectnessObjective":
+        """Re-point the objective at a new sample set, keeping everything else.
+
+        Between EM rounds (and between the fits of a parameter sweep) the
+        objective changes only through the soft labels and their per-source
+        reduction; the design matrix, parameter layout and penalty strengths
+        are invariant.  Re-pointing a cached instance at each round's
+        samples avoids re-validating and re-allocating those invariants on
+        every M-step.  Returns ``self`` for chaining.
+        """
         self.source_idx = np.asarray(source_idx, dtype=np.int64)
         self.labels = np.asarray(labels, dtype=float)
-        self.design = np.asarray(design, dtype=float)
         n = self.source_idx.shape[0]
         if self.labels.shape[0] != n:
             raise ValueError("labels and source_idx must have equal length")
@@ -163,16 +191,9 @@ class CorrectnessObjective:
         if self.sample_weights.shape[0] != n:
             raise ValueError("sample_weights and source_idx must have equal length")
         self.n_samples = n
-        self.layout = ParameterLayout(
-            n_sources=self.design.shape[0],
-            n_features=self.design.shape[1],
-            intercept=intercept,
-        )
         self._weight_total = float(np.sum(self.sample_weights)) or 1.0
-        # The data term is weight-normalized (a mean), so the ridge penalty
-        # is scaled by 1/total as well: l2 strengths are per-sample, like
-        # sklearn's alpha/n convention, and do not dominate small datasets.
-        self._l2 = self.layout.l2_vector(l2_sources, l2_features) / self._weight_total
+        self._l2 = self._l2_unscaled / self._weight_total
+        return self
 
     @property
     def n_params(self) -> int:

@@ -154,6 +154,28 @@ class LBFGSMemory:
         return q
 
 
+@dataclass
+class WarmStartState:
+    """Solver state handed from one fit to the next in a parameter sweep.
+
+    Bundles the final parameter vector of a completed fit with the L-BFGS
+    curvature memory it accumulated.  The sweep engine
+    (:class:`repro.experiments.sweeps.SweepRunner`) passes the state of the
+    *nearest-config* prior fit into the next fit's first M-step solve: the
+    M-step is convex, so a foreign starting point changes only the solve's
+    path, never its optimum — batched results stay equivalent to isolated
+    fits at the solver's own tolerance while nearby configs converge in
+    fewer inner iterations.
+    """
+
+    w: np.ndarray
+    memory: Optional[LBFGSMemory] = None
+
+    def compatible_with(self, n_params: int) -> bool:
+        """Whether the stored vector matches an objective's dimensionality."""
+        return self.w.shape[0] == n_params
+
+
 def minimize_lbfgs_warm(
     objective: Objective,
     w0: np.ndarray,

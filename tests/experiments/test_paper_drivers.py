@@ -61,6 +61,9 @@ class TestTableDrivers:
     def test_table5(self, mini_report):
         text = table5(mini_report)
         assert "runtimes" in text
+        # The default-mode report times SLiMFast fits through the batched
+        # sweep engine; the rendered table must say so.
+        assert 'mode="isolated"' in text
 
     def test_table4(self, mini_datasets):
         rows, text = table4(mini_datasets, fractions=(0.2,), seeds=(0,))
