@@ -3,10 +3,12 @@
 Times the hot paths that the dense-encoding layer (``repro.fusion.encoding``)
 rewrote — posterior queries, array-native fusion-result packaging, the EM
 E-step and full EM/ERM fits (including the warm-started second-order
-M-step) — under both backends, plus the ``sweep_16`` case: a 16-point EM
-sweep run by the batched ``SweepRunner`` versus sequential isolated fits
-(its "reference" column is the isolated per-fit path, not the loop
-backend).  Writes a ``BENCH_inference.json`` trajectory artifact with
+M-step) — under both backends, plus two engine-vs-engine cases:
+``sweep_16`` (a 16-point EM sweep run by the batched ``SweepRunner``
+versus sequential isolated fits) and ``stream_append`` (the vectorized
+streaming fuser over an incremental encoding versus the reference
+dict-per-observation replay).  Writes a ``BENCH_inference.json``
+trajectory artifact with
 per-case median runtimes and speedups.  The per-factor reference Gibbs
 comparison runs only in full (non-smoke) mode; its equivalence is covered
 by the test suite.
@@ -248,6 +250,18 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
         "sweep_16",
         lambda: SweepRunner(dataset, mode="isolated").run(sweep_specs),
         lambda: SweepRunner(dataset, mode="batched").run(sweep_specs),
+        case_repeats=min(repeats, 3),
+    )
+
+    # Streaming ingest: incremental encoding + vectorized batch scatters
+    # versus the reference dict-per-observation replay of the same stream
+    # (same random order, same truth reveal).
+    from repro.extensions.streaming import replay_dataset
+
+    case(
+        "stream_append",
+        lambda: replay_dataset(dataset, truth, seed=0, backend="reference"),
+        lambda: replay_dataset(dataset, truth, seed=0, backend="vectorized", batch_size=256),
         case_repeats=min(repeats, 3),
     )
 

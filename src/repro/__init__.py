@@ -50,6 +50,13 @@ facade:
 * ``"reference"`` — the original per-object Python loops, kept as the
   machine-checked ground truth.
 
+Append-only workloads use
+:class:`~repro.fusion.encoding.IncrementalEncoding` (O(batch) appends
+that stay exactly equivalent to a cold compile of the accumulated
+dataset) and the array-native streaming fuser
+(:class:`~repro.extensions.streaming.StreamingFuser`, with an optional
+periodic warm-started EM re-fit) instead of recompiling per change.
+
 ``tests/test_vectorized_equivalence.py`` asserts both engines agree to
 ``atol=1e-8`` across random datasets.  Benchmark the engines and refresh
 the CI regression baseline with::

@@ -36,7 +36,7 @@ double-precision stopping plateau (see ``tests/test_vectorized_equivalence.py``)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -58,7 +58,7 @@ from ..optim.solvers import (
 from .erm import ERMConfig, ERMLearner
 from .inference import clamp_rows, expected_correctness
 from .model import AccuracyModel, model_from_flat
-from .structure import PairStructure, build_pair_structure
+from .structure import PairStructure, build_incremental_structure, build_pair_structure
 
 
 @dataclass
@@ -405,3 +405,49 @@ class EMLearner:
                 w[s_idx] = warm.w_sources[s_idx]
             w[dataset.n_sources :] = warm.w_features
         return w
+
+
+def fit_incremental(
+    encoding,
+    truth: Optional[Mapping[ObjectId, Value]] = None,
+    warm_state: Optional[WarmStartState] = None,
+    config: Optional[EMConfig] = None,
+    **overrides: object,
+) -> Tuple[AccuracyModel, "EMLearner"]:
+    """Re-fit the EM model over an incrementally-grown stream.
+
+    The batch re-fit entry point for append-only workloads: given an
+    :class:`~repro.fusion.encoding.IncrementalEncoding` (and the ground
+    truth revealed so far), run a full EM fit against the encoding's
+    current snapshot **without recompiling the index arrays** — the
+    candidate structure is built directly from the snapshot
+    (:func:`~repro.core.structure.build_incremental_structure`), the design
+    matrix comes from the encoding's per-source row cache, and the
+    materialized dataset container carries the snapshot as its cached
+    :class:`~repro.fusion.encoding.DenseEncoding`.
+
+    ``warm_state`` seeds the first convex M-step solve from a previous
+    re-fit (the PR 3 sweep hook): because each M-step is convex this never
+    changes the fit's optimum, only its path, so periodic re-fits over a
+    stream converge in fewer inner iterations as the data drifts slowly.
+    The solver defaults to the contracted ``"lbfgs-warm"`` path (the only
+    one that honors the seed).
+
+    Returns ``(model, learner)``; the learner's :attr:`EMLearner.warm_state_`
+    is the hand-off state for the next re-fit.
+    """
+    if config is None and "solver" not in overrides:
+        overrides = {**overrides, "solver": "lbfgs-warm"}
+    learner = EMLearner(config, **overrides)
+    dataset = encoding.to_dataset()
+    structure = build_incremental_structure(encoding)
+    design, feature_space = encoding.design(learner.config.use_features)
+    model = learner.fit(
+        dataset,
+        truth,
+        design=design,
+        feature_space=feature_space,
+        structure=structure,
+        warm_state=warm_state,
+    )
+    return model, learner

@@ -172,6 +172,32 @@ def _build_vectorized(
     )
 
 
+def build_incremental_structure(encoding) -> PairStructure:
+    """Full-coverage :class:`PairStructure` over an incremental encoding.
+
+    The incremental counterpart of the full-dataset vectorized build: the
+    structure's arrays are the :class:`~repro.fusion.encoding.IncrementalEncoding`
+    snapshot arrays themselves (no re-walk, no re-derivation), so a
+    periodic batch re-fit over a growing stream pays only the snapshot
+    materialization — O(dataset) array assembly, never the Python-level
+    dataset walk of a cold compile.  The encoding is attached for the
+    array-based :meth:`PairStructure.label_rows` fast path
+    (``IncrementalEncoding.truth_codes`` is layout-compatible with
+    :meth:`~repro.fusion.encoding.DenseEncoding.truth_codes`).
+    """
+    return PairStructure(
+        object_ids=encoding.object_ids,
+        object_dataset_idx=np.arange(encoding.n_objects, dtype=np.int64),
+        pair_object_pos=encoding.pair_object_idx,
+        pair_values=encoding.pair_values,
+        pair_offsets=encoding.pair_offsets,
+        obs_source_idx=encoding.obs_source_idx,
+        obs_pair_idx=encoding.obs_pair_idx,
+        base_scores=encoding.base_scores,
+        encoding=encoding,
+    )
+
+
 def build_masked_structure(
     dataset: FusionDataset,
     exclude_sources: Sequence[object],

@@ -12,19 +12,43 @@ streaming counterpart of SLiMFast's accuracy model:
 * exponential decay lets source reliability drift over time (sources go
   stale; the decay half-life is configurable).
 
-This trades the batch model's guarantees for O(1) work per observation.
-The tests validate it against the batch Counts/SLiMFast estimates on a
-replayed dataset.
+This trades the batch model's guarantees for O(batch) work per ingested
+batch (O(1) dict work per observation on the reference engine).
+
+Two engines implement the model, selected by ``backend``:
+
+* ``"vectorized"`` (default) — array-native: source states live in flat
+  Beta-count vectors, the per-object score table is a dense
+  ``(n_objects, max_domain)`` matrix, and each :meth:`StreamingFuser.observe_batch`
+  updates everything with bulk NumPy scatters over an
+  :class:`~repro.fusion.encoding.IncrementalEncoding` (which also gives the
+  fuser O(batch) appends and a snapshot compatible with the batch
+  learners).  Batches use *batch-start* source trusts for scoring and
+  apply source-state feedback after the batch, so a batch of size 1
+  reproduces the reference engine **exactly**; larger batches are a
+  mini-batch approximation (the equivalence tolerances are pinned in
+  ``tests/test_incremental_encoding.py``).  Optionally, a periodic
+  warm-started EM re-fit (:func:`repro.core.em.fit_incremental`) re-anchors
+  source reliabilities and rebuilds the score table from the accumulated
+  stream.
+* ``"reference"`` — the original dict-per-observation Python loops, kept
+  as the machine-checked ground truth.
+
+The vectorized engine enforces dataset semantics (duplicate
+``(source, object)`` claims raise), because its backing encoding must stay
+equivalent to a cold compile of the accumulated stream; the reference
+engine keeps its historical lenient behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..fusion.dataset import FusionDataset
+from ..fusion.encoding import IncrementalEncoding, check_backend
 from ..fusion.result import FusionResult
 from ..fusion.types import ObjectId, Observation, SourceId, Value
 from ..optim.numerics import logit
@@ -32,7 +56,7 @@ from ..optim.numerics import logit
 
 @dataclass
 class _SourceState:
-    """Beta-posterior correctness state of one source."""
+    """Beta-posterior correctness state of one source (reference engine)."""
 
     correct: float
     total: float
@@ -41,39 +65,11 @@ class _SourceState:
         return self.correct / self.total
 
 
-class StreamingFuser:
-    """Single-pass fusion with online source-reliability tracking.
+class _ReferenceEngine:
+    """Original dict-per-observation implementation (ground truth)."""
 
-    Parameters
-    ----------
-    prior_correct, prior_total:
-        Beta prior pseudo-counts; the default Beta(1.4, 0.6)-style prior
-        starts every source at 0.7 — the same optimistic initialization
-        the batch EM uses.
-    decay:
-        Multiplicative decay applied to every source's counts per
-        processed observation batch; ``1.0`` disables drift tracking.
-    self_training:
-        When True, observations on unlabeled objects update their source's
-        counts with the current fused estimate (weighted by its posterior
-        confidence); when False only ground-truth feedback counts.
-    """
-
-    def __init__(
-        self,
-        prior_correct: float = 1.4,
-        prior_total: float = 2.0,
-        decay: float = 1.0,
-        self_training: bool = True,
-    ) -> None:
-        if not 0.0 < decay <= 1.0:
-            raise ValueError("decay must be in (0, 1]")
-        if prior_total <= 0 or prior_correct <= 0 or prior_correct >= prior_total:
-            raise ValueError("priors must satisfy 0 < correct < total")
-        self.prior_correct = prior_correct
-        self.prior_total = prior_total
-        self.decay = decay
-        self.self_training = self_training
+    def __init__(self, fuser: "StreamingFuser") -> None:
+        self._config = fuser
         self._sources: Dict[SourceId, _SourceState] = {}
         self._truth: Dict[ObjectId, Value] = {}
         # per-object score table: value -> accumulated trust
@@ -86,17 +82,16 @@ class StreamingFuser:
     def _state(self, source: SourceId) -> _SourceState:
         state = self._sources.get(source)
         if state is None:
-            state = _SourceState(self.prior_correct, self.prior_total)
+            state = _SourceState(self._config.prior_correct, self._config.prior_total)
             self._sources[source] = state
         return state
 
     def observe(self, observation: Observation) -> None:
-        """Ingest one observation (O(1) amortized)."""
         source, obj, value = observation
         state = self._state(source)
-        if self.decay < 1.0:
-            state.correct *= self.decay
-            state.total *= self.decay
+        if self._config.decay < 1.0:
+            state.correct *= self._config.decay
+            state.total *= self._config.decay
             state.correct = max(state.correct, 1e-6)
             state.total = max(state.total, 2e-6)
 
@@ -109,14 +104,20 @@ class StreamingFuser:
         if expected is not None:
             state.correct += 1.0 if value == expected else 0.0
             state.total += 1.0
-        elif self.self_training:
+        elif self._config.self_training:
             confidence = self.posterior(obj).get(value, 0.0)
             state.correct += confidence
             state.total += 1.0
         self.n_processed += 1
 
+    def observe_batch(self, observations: Sequence[Observation]) -> None:
+        for observation in observations:
+            self.observe(observation)
+
+    def preset_truth(self, obj: ObjectId, value: Value) -> None:
+        self._truth[obj] = value
+
     def reveal_truth(self, obj: ObjectId, value: Value) -> None:
-        """Feed a ground-truth label; retroactively credits past claims."""
         self._truth[obj] = value
         for source, claimed in self._claims.get(obj, {}).items():
             state = self._state(source)
@@ -125,7 +126,6 @@ class StreamingFuser:
 
     # ------------------------------------------------------------------
     def posterior(self, obj: ObjectId) -> Dict[Value, float]:
-        """Current posterior over the object's claimed values."""
         scores = self._scores.get(obj)
         if not scores:
             return {}
@@ -140,63 +140,479 @@ class StreamingFuser:
         probs /= probs.sum()
         return {value: float(p) for value, p in zip(values, probs)}
 
-    def current_value(self, obj: ObjectId) -> Optional[Value]:
-        """MAP estimate for one object (None if unseen)."""
-        posterior = self.posterior(obj)
-        if not posterior:
-            return None
-        return max(posterior, key=posterior.get)
-
     def source_accuracies(self) -> Dict[SourceId, float]:
-        """Current accuracy estimate per seen source."""
         return {source: state.accuracy() for source, state in self._sources.items()}
 
-    # ------------------------------------------------------------------
-    def run(
-        self,
-        observations: Iterable[Observation],
-        truth: Optional[Dict[ObjectId, Value]] = None,
-    ) -> "StreamingFuser":
-        """Replay an observation stream (truth revealed up front)."""
-        for obj, value in (truth or {}).items():
-            self._truth[obj] = value
-        for observation in observations:
-            self.observe(observation)
-        return self
-
     def to_result(self, dataset: Optional[FusionDataset] = None) -> FusionResult:
-        """Snapshot the current state as a standard fusion result.
-
-        Pass the replayed ``dataset`` to also attach the array backing
-        (value codes against the dataset's domains), so downstream metric
-        evaluation uses the ``value_codes`` fast path instead of dict scans.
-        """
-        values = {obj: self.current_value(obj) for obj in self._scores}
+        values = {obj: _argmax_posterior(self.posterior(obj)) for obj in self._scores}
         posteriors = {obj: self.posterior(obj) for obj in self._scores}
         result = FusionResult(
             values=values,
             posteriors=posteriors,
             source_accuracies=self.source_accuracies(),
             method="streaming",
-            diagnostics={"n_processed": self.n_processed},
+            diagnostics={"n_processed": self.n_processed, "backend": "reference"},
         )
         if dataset is not None:
             result.attach_dataset(dataset)
         return result
 
 
+def _argmax_posterior(posterior: Dict[Value, float]) -> Optional[Value]:
+    if not posterior:
+        return None
+    return max(posterior, key=posterior.get)
+
+
+class _VectorizedEngine:
+    """Array-native engine over an incremental encoding.
+
+    Source Beta states are flat vectors, the score table is a dense
+    ``(n_objects, max_domain)`` matrix, and batches are processed with
+    bulk scatters; see the module docstring for the batch semantics.
+    """
+
+    def __init__(self, fuser: "StreamingFuser") -> None:
+        self._config = fuser
+        self.encoding = IncrementalEncoding(
+            source_features=fuser.source_features, name="streaming"
+        )
+        self._correct = np.zeros(8)
+        self._total = np.zeros(8)
+        self._n_sources = 0
+        self._scores = np.zeros((8, 2))
+        self._truth_code = np.full(8, -1, dtype=np.int64)  # -1 unknown, -2 unclaimed truth
+        self._n_objects = 0
+        self._max_domain = 0
+        self.truth: Dict[ObjectId, Value] = {}
+        self.n_processed = 0
+        self.n_refits = 0
+        self._last_refit_at = 0
+        self._warm_state = None
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    def _grow_sources(self, n_sources: int) -> None:
+        capacity = self._correct.shape[0]
+        if n_sources > capacity:
+            new_capacity = max(2 * capacity, n_sources)
+            for name in ("_correct", "_total"):
+                old = getattr(self, name)
+                fresh = np.zeros(new_capacity)
+                fresh[: self._n_sources] = old[: self._n_sources]
+                setattr(self, name, fresh)
+        self._correct[self._n_sources : n_sources] = self._config.prior_correct
+        self._total[self._n_sources : n_sources] = self._config.prior_total
+        self._n_sources = n_sources
+
+    def _grow_objects(self, n_objects: int, max_domain: int) -> None:
+        rows, cols = self._scores.shape
+        if n_objects > rows or max_domain > cols:
+            new_rows = max(rows if n_objects <= rows else 2 * rows, n_objects)
+            new_cols = max(cols if max_domain <= cols else 2 * cols, max_domain)
+            fresh = np.zeros((new_rows, new_cols))
+            fresh[:rows, :cols] = self._scores
+            self._scores = fresh
+        if n_objects > self._truth_code.shape[0]:
+            fresh_codes = np.full(max(2 * self._truth_code.shape[0], n_objects), -1, dtype=np.int64)
+            fresh_codes[: self._n_objects] = self._truth_code[: self._n_objects]
+            self._truth_code = fresh_codes
+        self._n_objects = max(self._n_objects, n_objects)
+        self._max_domain = max(self._max_domain, max_domain)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, observation: Observation) -> None:
+        self.observe_batch([observation])
+
+    def observe_batch(self, observations: Sequence[Observation]) -> None:
+        batch = self.encoding.append(observations)
+        if len(batch) == 0:
+            return
+        config = self._config
+        n_objects_before = self._n_objects
+        self._grow_sources(self.encoding.n_sources)
+        self._grow_objects(
+            self.encoding.n_objects,
+            max(self._max_domain, int(batch.value_code.max()) + 1),
+        )
+
+        # Resolve revealed-but-unseen truth for objects this batch introduced.
+        if self.truth:
+            for o_idx in range(n_objects_before, self._n_objects):
+                value = self.truth.get(self.encoding.objects.item(o_idx))
+                if value is None:
+                    continue
+                code = self.encoding.domain_by_index(o_idx).get(value)
+                self._truth_code[o_idx] = code if code is not None else -2
+        # A batch may claim a truth value that was previously outside the
+        # object's domain; promote those codes before matching.
+        pending = np.flatnonzero(self._truth_code[batch.object_idx] == -2)
+        for i in pending.tolist():
+            o_idx = int(batch.object_idx[i])
+            if batch.values[i] == self.truth[self.encoding.objects.item(o_idx)]:
+                self._truth_code[o_idx] = batch.value_code[i]
+
+        # All per-batch state updates touch only the batch's own sources
+        # and objects, so observing stays O(batch) as the stream grows.
+        s_idx, o_idx, v_code = batch.source_idx, batch.object_idx, batch.value_code
+        batch_sources, source_inverse, source_counts = np.unique(
+            s_idx, return_inverse=True, return_counts=True
+        )
+        if config.decay < 1.0:
+            factor = config.decay**source_counts
+            self._correct[batch_sources] = np.maximum(
+                self._correct[batch_sources] * factor, 1e-6
+            )
+            self._total[batch_sources] = np.maximum(self._total[batch_sources] * factor, 2e-6)
+
+        # Batch-start trusts score the whole batch (see module docstring).
+        trust = logit(self._correct[batch_sources] / self._total[batch_sources])
+        np.add.at(self._scores, (o_idx, v_code), trust[source_inverse])
+
+        truth_codes = self._truth_code[o_idx]
+        labeled = truth_codes != -1
+        if np.any(labeled):
+            matched = (v_code == truth_codes) & labeled
+            np.add.at(self._correct, s_idx[labeled], matched[labeled].astype(float))
+            np.add.at(self._total, s_idx[labeled], 1.0)
+        if config.self_training and not np.all(labeled):
+            unlabeled = ~labeled
+            confidence = self._batch_confidence(o_idx[unlabeled], v_code[unlabeled])
+            np.add.at(self._correct, s_idx[unlabeled], confidence)
+            np.add.at(self._total, s_idx[unlabeled], 1.0)
+
+        self.n_processed += len(batch)
+        if (
+            config.refit_every is not None
+            and self.n_processed - self._last_refit_at >= config.refit_every
+        ):
+            self.refit()
+
+    def _batch_confidence(self, object_idx: np.ndarray, value_code: np.ndarray) -> np.ndarray:
+        """Posterior confidence of each (object, claimed value) pair."""
+        if object_idx.shape[0] == 1:
+            # Single-observation path mirrors the reference engine's exact
+            # operation sequence (bit-identical self-training feedback).
+            o_idx = int(object_idx[0])
+            size = int(self.encoding.live_domain_sizes[o_idx])
+            arr = self._scores[o_idx, :size]
+            arr = arr - arr.max()
+            probs = np.exp(arr)
+            probs /= probs.sum()
+            return probs[value_code[:1]]
+        unique, inverse = np.unique(object_idx, return_inverse=True)
+        rows = self._scores[unique]
+        sizes = self.encoding.live_domain_sizes[unique]
+        valid = np.arange(rows.shape[1]) < sizes[:, None]
+        masked = np.where(valid, rows, -np.inf)
+        peak = masked.max(axis=1)
+        exp = np.exp(masked - peak[:, None])
+        return exp[inverse, value_code] / exp.sum(axis=1)[inverse]
+
+    # ------------------------------------------------------------------
+    # Truth feedback
+    # ------------------------------------------------------------------
+    def preset_truth(self, obj: ObjectId, value: Value) -> None:
+        self.truth[obj] = value
+        o_idx = self.encoding.objects.get(obj)
+        if o_idx is not None:
+            code = self.encoding.domain_by_index(o_idx).get(value)
+            self._truth_code[o_idx] = code if code is not None else -2
+
+    def reveal_truth(self, obj: ObjectId, value: Value) -> None:
+        self.preset_truth(obj, value)
+        o_idx = self.encoding.objects.get(obj)
+        if o_idx is None:
+            return
+        claim_sources, claim_codes = self.encoding.object_claims(o_idx)
+        if claim_sources.shape[0] == 0:
+            return
+        code = self.encoding.domain_by_index(o_idx).get(value)
+        matched = (
+            (claim_codes == code).astype(float)
+            if code is not None
+            else np.zeros(claim_codes.shape[0])
+        )
+        np.add.at(self._correct, claim_sources, matched)
+        np.add.at(self._total, claim_sources, 1.0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def posterior(self, obj: ObjectId) -> Dict[Value, float]:
+        o_idx = self.encoding.objects.get(obj)
+        if o_idx is None:
+            return {}
+        values = self.encoding.domain_by_index(o_idx).items
+        if obj in self.truth:
+            clamped = {value: 0.0 for value in values}
+            clamped[self.truth[obj]] = 1.0  # truth may be unclaimed
+            return clamped
+        arr = self._scores[o_idx, : len(values)]
+        arr = arr - arr.max()
+        probs = np.exp(arr)
+        probs /= probs.sum()
+        return {value: float(p) for value, p in zip(values, probs)}
+
+    def source_accuracies(self) -> Dict[SourceId, float]:
+        n = self._n_sources
+        accuracies = self._correct[:n] / self._total[:n]
+        return {source: float(acc) for source, acc in zip(self.encoding.sources.items, accuracies)}
+
+    def to_result(self, dataset: Optional[FusionDataset] = None) -> FusionResult:
+        # ``dataset`` is accepted for engine-interface parity only: the
+        # result is already array-backed, so there is nothing to attach.
+        from ..core.structure import build_incremental_structure
+        from ..optim.objectives import segment_softmax
+
+        if self.encoding.n_observations == 0:
+            # Mirror the reference engine's empty snapshot instead of
+            # failing the snapshot materialization.
+            return FusionResult(
+                values={},
+                posteriors={},
+                source_accuracies={},
+                method="streaming",
+                diagnostics={
+                    "n_processed": 0,
+                    "backend": "vectorized",
+                    "n_refits": self.n_refits,
+                },
+            )
+        encoding = self.encoding
+        structure = build_incremental_structure(encoding)
+        flat_scores = self._scores[encoding.pair_object_idx, encoding.pair_value_code]
+        probs = segment_softmax(flat_scores, encoding.pair_object_idx, encoding.n_objects)
+        n = self._n_sources
+        result = FusionResult.from_rows(
+            structure,
+            probs,
+            clamp=self.truth,
+            accuracy_vector=self._correct[:n] / self._total[:n],
+            source_ids=encoding.sources.items,
+            method="streaming",
+            diagnostics={
+                "n_processed": self.n_processed,
+                "backend": "vectorized",
+                "n_refits": self.n_refits,
+            },
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Periodic batch re-fit
+    # ------------------------------------------------------------------
+    def refit(self) -> None:
+        """Re-anchor source reliabilities with a warm-started EM re-fit.
+
+        Runs :func:`repro.core.em.fit_incremental` over the accumulated
+        stream (seeded with the previous re-fit's
+        :class:`~repro.optim.solvers.WarmStartState`), replaces each
+        source's Beta mean with the fitted accuracy (its pseudo-count
+        weight is preserved), and rebuilds the score table from every past
+        claim under the re-fitted trusts — a single bulk scatter over the
+        encoding snapshot.
+        """
+        from ..core.em import fit_incremental
+
+        model, learner = fit_incremental(
+            self.encoding,
+            truth=self.truth,
+            warm_state=self._warm_state,
+            **dict(self._config.refit_overrides or {}),
+        )
+        self._warm_state = learner.warm_state_
+        n = self._n_sources
+        accuracies = np.clip(model.accuracies(), 1e-6, 1.0 - 1e-6)
+        self._correct[:n] = accuracies * self._total[:n]
+        trust = logit(accuracies)
+        encoding = self.encoding
+        self._scores[: self._n_objects] = 0.0
+        np.add.at(
+            self._scores,
+            (encoding.obs_object_idx, encoding.obs_value_code),
+            trust[encoding.obs_source_idx],
+        )
+        self._last_refit_at = self.n_processed
+        self.n_refits += 1
+
+
+class StreamingFuser:
+    """Single-pass fusion with online source-reliability tracking.
+
+    Parameters
+    ----------
+    prior_correct, prior_total:
+        Beta prior pseudo-counts; the default Beta(1.4, 0.6)-style prior
+        starts every source at 0.7 — the same optimistic initialization
+        the batch EM uses.
+    decay:
+        Multiplicative decay applied to a source's counts per processed
+        observation it makes; ``1.0`` disables drift tracking.
+    self_training:
+        When True, observations on unlabeled objects update their source's
+        counts with the current fused estimate (weighted by its posterior
+        confidence); when False only ground-truth feedback counts.
+    backend:
+        ``"vectorized"`` (default) processes batches with bulk array
+        scatters over an :class:`~repro.fusion.encoding.IncrementalEncoding`;
+        ``"reference"`` keeps the original dict-per-observation loops.  A
+        vectorized batch of size 1 reproduces the reference exactly;
+        larger batches use batch-start trusts (see the module docstring).
+    source_features:
+        Optional source metadata (vectorized backend only), forwarded to
+        the periodic re-fit's design matrix.
+    refit_every:
+        Vectorized backend only: when set, every ``refit_every`` processed
+        observations trigger a warm-started EM re-fit over the accumulated
+        stream (:meth:`refit` can also be called explicitly).
+    refit_overrides:
+        Keyword overrides forwarded to :func:`repro.core.em.fit_incremental`
+        (e.g. ``{"max_iterations": 10}``).
+    """
+
+    def __init__(
+        self,
+        prior_correct: float = 1.4,
+        prior_total: float = 2.0,
+        decay: float = 1.0,
+        self_training: bool = True,
+        backend: str = "vectorized",
+        source_features: Optional[Mapping[SourceId, Mapping[str, object]]] = None,
+        refit_every: Optional[int] = None,
+        refit_overrides: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if prior_total <= 0 or prior_correct <= 0 or prior_correct >= prior_total:
+            raise ValueError("priors must satisfy 0 < correct < total")
+        check_backend(backend)
+        if refit_every is not None and refit_every <= 0:
+            raise ValueError("refit_every must be a positive observation count")
+        if backend == "reference" and (
+            refit_every is not None or refit_overrides is not None or source_features is not None
+        ):
+            raise ValueError(
+                "refit_every/refit_overrides/source_features require backend='vectorized'; "
+                "the reference engine has no re-fit hook"
+            )
+        self.prior_correct = prior_correct
+        self.prior_total = prior_total
+        self.decay = decay
+        self.self_training = self_training
+        self.backend = backend
+        self.source_features = source_features
+        self.refit_every = refit_every
+        self.refit_overrides = refit_overrides
+        self._engine = (
+            _VectorizedEngine(self) if backend == "vectorized" else _ReferenceEngine(self)
+        )
+
+    def __getattr__(self, name: str):
+        # Engine internals (including the reference engine's historical
+        # private attributes) remain reachable through the fuser.
+        engine = self.__dict__.get("_engine")
+        if engine is None:
+            raise AttributeError(name)
+        return getattr(engine, name)
+
+    # ------------------------------------------------------------------
+    def observe(self, observation: Observation) -> None:
+        """Ingest one observation.
+
+        On the reference backend this is the O(1) dict update; on the
+        vectorized backend it is a batch of size 1 — asymptotically
+        O(batch) like any batch, but each call pays a constant NumPy
+        dispatch overhead, so high-rate feeds should prefer
+        :meth:`observe_batch`.
+        """
+        self._engine.observe(observation)
+
+    def observe_batch(self, observations: Sequence[Observation | tuple]) -> None:
+        """Ingest a batch of observations in bulk.
+
+        The vectorized backend's primary entry point: one O(batch) append
+        into the incremental encoding plus a constant number of array
+        scatters, regardless of batch size.
+        """
+        self._engine.observe_batch(list(observations))
+
+    def reveal_truth(self, obj: ObjectId, value: Value) -> None:
+        """Feed a ground-truth label; retroactively credits past claims."""
+        self._engine.reveal_truth(obj, value)
+
+    # ------------------------------------------------------------------
+    def posterior(self, obj: ObjectId) -> Dict[Value, float]:
+        """Current posterior over the object's claimed values."""
+        return self._engine.posterior(obj)
+
+    def current_value(self, obj: ObjectId) -> Optional[Value]:
+        """MAP estimate for one object (None if unseen)."""
+        return _argmax_posterior(self._engine.posterior(obj))
+
+    def source_accuracies(self) -> Dict[SourceId, float]:
+        """Current accuracy estimate per seen source."""
+        return self._engine.source_accuracies()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        observations: Iterable[Observation],
+        truth: Optional[Dict[ObjectId, Value]] = None,
+        batch_size: int = 256,
+    ) -> "StreamingFuser":
+        """Replay an observation stream (truth revealed up front)."""
+        for obj, value in (truth or {}).items():
+            self._engine.preset_truth(obj, value)
+        if self.backend == "reference":
+            for observation in observations:
+                self._engine.observe(observation)
+            return self
+        chunk: List[Observation] = []
+        for observation in observations:
+            chunk.append(observation)
+            if len(chunk) >= batch_size:
+                self._engine.observe_batch(chunk)
+                chunk = []
+        if chunk:
+            self._engine.observe_batch(chunk)
+        return self
+
+    def to_result(self, dataset: Optional[FusionDataset] = None) -> FusionResult:
+        """Snapshot the current state as a standard fusion result.
+
+        The vectorized backend packages the score table directly as an
+        array-backed :class:`~repro.fusion.result.FusionResult` (one
+        segmented softmax, no per-object dicts); the reference backend
+        builds the classic dict result and, when the replayed ``dataset``
+        is passed, promotes it to array form via ``attach_dataset``.
+        """
+        return self._engine.to_result(dataset)
+
+
 def replay_dataset(
     dataset: FusionDataset,
     train_truth: Optional[Dict[ObjectId, Value]] = None,
     seed: int = 0,
+    batch_size: int = 256,
     **kwargs: object,
 ) -> FusionResult:
-    """Stream a dataset's observations in random order through the fuser."""
+    """Stream a dataset's observations in random order through the fuser.
+
+    ``batch_size`` controls the vectorized backend's mini-batch size
+    (ignored by ``backend="reference"``); remaining keyword arguments are
+    forwarded to :class:`StreamingFuser`.  Note mini-batching changes the
+    numbers, not just the speed: batches score with batch-start trusts,
+    so only ``batch_size=1`` (or ``backend="reference"``) reproduces the
+    exact sequential replay estimates.
+    """
     rng = np.random.default_rng(seed)
     order = rng.permutation(dataset.n_observations)
     fuser = StreamingFuser(**kwargs)
-    for obj, value in (train_truth or {}).items():
-        fuser._truth[obj] = value
-    for index in order:
-        fuser.observe(dataset.observations[int(index)])
+    truth = dict(train_truth or {})
+    observations = [dataset.observations[int(index)] for index in order]
+    fuser.run(observations, truth=truth, batch_size=batch_size)
     return fuser.to_result(dataset)

@@ -1,7 +1,7 @@
 """Fusion data model: datasets, features, metrics and result containers."""
 
 from .dataset import FusionDataset, Split, subset_sources
-from .encoding import DenseEncoding, encode_dataset
+from .encoding import AppendBatch, DenseEncoding, IncrementalEncoding, encode_dataset
 from .features import FeatureSpace, build_design_matrix
 from .metrics import (
     bernoulli_kl,
@@ -30,6 +30,8 @@ __all__ = [
     "Split",
     "subset_sources",
     "DenseEncoding",
+    "IncrementalEncoding",
+    "AppendBatch",
     "encode_dataset",
     "FeatureSpace",
     "build_design_matrix",

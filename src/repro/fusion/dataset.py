@@ -277,6 +277,49 @@ class FusionDataset:
         )
 
     # ------------------------------------------------------------------
+    # Append API
+    # ------------------------------------------------------------------
+    def extended(
+        self,
+        observations: Iterable[Observation | Tuple[SourceId, ObjectId, Value]],
+        ground_truth: Optional[Mapping[ObjectId, Value]] = None,
+        source_features: Optional[Mapping[SourceId, Mapping[str, object]]] = None,
+        true_accuracies: Optional[Mapping[SourceId, float]] = None,
+        name: Optional[str] = None,
+    ) -> "FusionDataset":
+        """Return a new dataset with ``observations`` appended.
+
+        The container stays immutable: appending builds a fresh
+        :class:`FusionDataset` whose observation order is this dataset's
+        followed by the new batch, so source/object indices and per-object
+        value codes of existing data are preserved.  Ground truth, source
+        features and true accuracies are merged (new entries win).  For
+        repeated appends on a hot path use
+        :class:`~repro.fusion.encoding.IncrementalEncoding`, which updates
+        the compiled index arrays in O(batch) instead of re-walking the
+        accumulated observations.
+        """
+        combined = list(self._observations)
+        for entry in observations:
+            combined.append(entry if isinstance(entry, Observation) else Observation(*entry))
+        merged_truth = dict(self.ground_truth)
+        merged_truth.update(ground_truth or {})
+        merged_features: Dict[SourceId, Dict[str, object]] = {
+            src: dict(feats) for src, feats in self.source_features.items()
+        }
+        for src, feats in (source_features or {}).items():
+            merged_features.setdefault(src, {}).update(feats)
+        merged_accuracies = dict(self.true_accuracies)
+        merged_accuracies.update(true_accuracies or {})
+        return FusionDataset(
+            combined,
+            ground_truth=merged_truth,
+            source_features=merged_features,
+            true_accuracies=merged_accuracies,
+            name=name if name is not None else self.name,
+        )
+
+    # ------------------------------------------------------------------
     # Dunder methods
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -31,17 +31,26 @@ see ``tests/test_vectorized_equivalence.py``).
 Use :func:`encode_dataset` to obtain the encoding; it memoizes one instance
 per (immutable) dataset, so the compilation cost is paid once per dataset
 no matter how many learners consume it.
+
+For append-only workloads (streams, growing feeds) recompiling the whole
+encoding on every arrival is the one remaining O(dataset) step.
+:class:`IncrementalEncoding` removes it: observations are appended in
+batches, each append costs O(batch) amortized, and the exact
+:class:`DenseEncoding` array layout is materialized lazily — bit-identical
+to a cold compile of the accumulated dataset (the contract pinned in
+``tests/test_incremental_encoding.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .dataset import FusionDataset
 from .features import FeatureSpace, build_design_matrix
-from .types import ObjectId, Value
+from .types import DatasetError, Indexer, ObjectId, Observation, SourceId, Value
 
 VALID_BACKENDS = ("vectorized", "reference")
 
@@ -108,8 +117,20 @@ class DenseEncoding:
     """
 
     def __init__(self, dataset: FusionDataset) -> None:
+        if dataset.n_observations == 0:
+            raise ValueError(
+                "cannot encode a dataset with zero observations; "
+                "append observations before compiling the index arrays"
+            )
         self.dataset = dataset
         n_objects = dataset.n_objects
+        empty_domains = [o for o in range(n_objects) if len(dataset.domain_by_index(o)) == 0]
+        if empty_domains:
+            raise ValueError(
+                f"cannot encode objects with an empty claimed domain "
+                f"(object indices {empty_domains[:5]}); every indexed object "
+                f"needs at least one observation"
+            )
 
         object_idx = dataset.obs_object_idx
         order = np.argsort(object_idx, kind="stable")
@@ -236,3 +257,557 @@ def encode_dataset(dataset: FusionDataset) -> DenseEncoding:
         cached = DenseEncoding(dataset)
         dataset._dense_encoding = cached
     return cached
+
+
+# ----------------------------------------------------------------------
+# Incremental (append-only) encoding
+# ----------------------------------------------------------------------
+class _AppendBuffer:
+    """1-D append buffer with amortized-doubling capacity."""
+
+    def __init__(self, dtype, capacity: int = 16) -> None:
+        self._store = np.zeros(capacity, dtype=dtype)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def data(self) -> np.ndarray:
+        """Writable view of the filled prefix."""
+        return self._store[: self._n]
+
+    def push(self, value) -> None:
+        if self._n == self._store.shape[0]:
+            fresh = np.zeros(max(4, 2 * self._store.shape[0]), dtype=self._store.dtype)
+            fresh[: self._n] = self._store[: self._n]
+            self._store = fresh
+        self._store[self._n] = value
+        self._n += 1
+
+
+@dataclass
+class AppendBatch:
+    """Index view of one :meth:`IncrementalEncoding.append` batch.
+
+    All arrays are aligned to the batch's arrival order and use the
+    encoding's (stable) integer indexing, so consumers like the vectorized
+    :class:`~repro.extensions.streaming.StreamingFuser` can process the
+    batch with pure array arithmetic.
+
+    Attributes
+    ----------
+    source_idx, object_idx, value_code:
+        Per batch observation: its source index, object index, and
+        within-domain value code.
+    values:
+        The raw claimed values, aligned with the arrays.
+    n_new_sources, n_new_objects:
+        How many sources/objects this batch introduced (their indices are
+        the trailing ones).
+    """
+
+    source_idx: np.ndarray
+    object_idx: np.ndarray
+    value_code: np.ndarray
+    values: List[Value] = field(default_factory=list)
+    n_new_sources: int = 0
+    n_new_objects: int = 0
+
+    def __len__(self) -> int:
+        return int(self.source_idx.shape[0])
+
+
+class IncrementalEncoding:
+    """Append-only counterpart of :class:`DenseEncoding`.
+
+    Observations arrive in batches via :meth:`append`; each batch updates
+    the internal index state in **O(batch) amortized** time instead of the
+    O(dataset) recompile a fresh :class:`DenseEncoding` would cost:
+
+    * source/object/value ids are interned through the same
+      :class:`~repro.fusion.types.Indexer` discipline as
+      :class:`~repro.fusion.dataset.FusionDataset` (arrival order defines
+      index order, first-seen order defines value codes);
+    * the CSR object→observation layout lives in a *slot store* where each
+      object's span carries doubling capacity slack — appending to a full
+      span relocates it to the store's tail and doubles it, so placement
+      is amortized O(1) per observation;
+    * design-matrix rows are encoded once per **new** source against a
+      :class:`~repro.fusion.features.FeatureSpace` fitted up front on the
+      full ``source_features`` mapping.
+
+    The exact :class:`DenseEncoding` arrays (``obs_offsets``,
+    ``obs_source_idx``, ``pair_offsets``, ``base_scores``, ...) are
+    materialized lazily from the slot store and cached until the next
+    append.  **Equivalence contract:** after any sequence of appends, every
+    materialized array equals a cold ``DenseEncoding`` of the accumulated
+    dataset — bit-identical index arrays and ``base_scores`` (same reduction
+    order), design matrix within ``atol=1e-12`` (it is byte-equal in
+    practice).  The contract is pinned in
+    ``tests/test_incremental_encoding.py``; :meth:`rebuild` is the escape
+    hatch that re-derives everything from a cold compile.
+
+    Duplicate ``(source, object)`` claims are rejected exactly as
+    :class:`~repro.fusion.dataset.FusionDataset` rejects them, so the
+    accumulated stream always corresponds to a valid dataset.
+    """
+
+    def __init__(
+        self,
+        source_features: Optional[Mapping[SourceId, Mapping[str, object]]] = None,
+        name: str = "incremental-dataset",
+    ) -> None:
+        self.name = name
+        self.sources: Indexer[SourceId] = Indexer()
+        self.objects: Indexer[ObjectId] = Indexer()
+        self.source_features: Dict[SourceId, Dict[str, object]] = {
+            src: dict(feats) for src, feats in (source_features or {}).items()
+        }
+        self._domains: List[Indexer[Value]] = []
+        self._seen_pairs: set = set()
+        self._n_obs = 0
+
+        # Slot store backing the CSR spans (parallel arrays, manual doubling).
+        self._store_src = np.zeros(16, dtype=np.int64)
+        self._store_val = np.zeros(16, dtype=np.int64)
+        self._store_row = np.zeros(16, dtype=np.int64)
+        self._store_used = 0
+
+        # Per-object span bookkeeping and domain sizes.
+        self._span_start = _AppendBuffer(np.int64)
+        self._span_len = _AppendBuffer(np.int64)
+        self._span_cap = _AppendBuffer(np.int64)
+        self._domain_sizes = _AppendBuffer(np.int64)
+
+        # use_features flag -> [row store (capacity array), n encoded, space]
+        self._design_cache: Dict[bool, List[object]] = {}
+
+        self._snapshot: Optional[Dict[str, np.ndarray]] = None
+        self._pair_values: Optional[List[Value]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: FusionDataset) -> "IncrementalEncoding":
+        """Seed an incremental encoding with an existing dataset's stream."""
+        encoding = cls(source_features=dataset.source_features, name=dataset.name)
+        encoding.append(dataset.observations)
+        return encoding
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def n_observations(self) -> int:
+        return self._n_obs
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self._domain_sizes.data.sum())
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(
+        self, observations: Iterable[Observation | Tuple[SourceId, ObjectId, Value]]
+    ) -> AppendBatch:
+        """Ingest one batch of observations in O(batch) amortized time.
+
+        Returns the batch's :class:`AppendBatch` index view.  An empty
+        batch is a no-op.  Raises
+        :class:`~repro.fusion.types.DatasetError` on a duplicate
+        ``(source, object)`` claim, mirroring the dataset container.
+        """
+        entries: List[Observation] = [
+            obs if isinstance(obs, Observation) else Observation(*obs) for obs in observations
+        ]
+        n_batch = len(entries)
+        empty = np.zeros(0, dtype=np.int64)
+        if n_batch == 0:
+            return AppendBatch(source_idx=empty, object_idx=empty, value_code=empty)
+
+        # Validate the whole batch up front so a rejected append leaves the
+        # encoding untouched (appends are atomic).
+        batch_pairs = set()
+        for obs in entries:
+            pair = (obs.source, obs.obj)
+            if pair in self._seen_pairs or pair in batch_pairs:
+                raise DatasetError(
+                    f"duplicate observation for source={obs.source!r} obj={obs.obj!r}"
+                )
+            batch_pairs.add(pair)
+
+        n_sources_before = len(self.sources)
+        n_objects_before = len(self.objects)
+        source_idx = np.empty(n_batch, dtype=np.int64)
+        object_idx = np.empty(n_batch, dtype=np.int64)
+        value_code = np.empty(n_batch, dtype=np.int64)
+        values: List[Value] = []
+        domain_sizes = None
+        for i, obs in enumerate(entries):
+            self._seen_pairs.add((obs.source, obs.obj))
+            s_idx = self.sources.add(obs.source)
+            o_idx = self.objects.add(obs.obj)
+            if o_idx == len(self._domains):
+                self._domains.append(Indexer())
+                self._span_start.push(0)
+                self._span_len.push(0)
+                self._span_cap.push(0)
+                self._domain_sizes.push(0)
+                domain_sizes = None  # pushes may reallocate the buffer
+            code = self._domains[o_idx].add(obs.value)
+            if domain_sizes is None:
+                domain_sizes = self._domain_sizes.data
+            if code == domain_sizes[o_idx]:
+                domain_sizes[o_idx] += 1
+            source_idx[i] = s_idx
+            object_idx[i] = o_idx
+            value_code[i] = code
+            values.append(obs.value)
+
+        self._place(object_idx, source_idx, value_code, first_row=self._n_obs)
+        self._n_obs += n_batch
+        self._snapshot = None
+        self._pair_values = None
+        return AppendBatch(
+            source_idx=source_idx,
+            object_idx=object_idx,
+            value_code=value_code,
+            values=values,
+            n_new_sources=len(self.sources) - n_sources_before,
+            n_new_objects=len(self.objects) - n_objects_before,
+        )
+
+    def _place(
+        self,
+        object_idx: np.ndarray,
+        source_idx: np.ndarray,
+        value_code: np.ndarray,
+        first_row: int,
+    ) -> None:
+        """Write a batch into the slot store, relocating overfull spans."""
+        touched, counts = np.unique(object_idx, return_counts=True)
+        start = self._span_start.data
+        length = self._span_len.data
+        cap = self._span_cap.data
+        for o, count in zip(touched.tolist(), counts.tolist()):
+            need = int(length[o]) + count
+            if need <= cap[o]:
+                continue
+            new_cap = max(4, 2 * int(cap[o]), need)
+            self._reserve_store(new_cap)
+            new_start = self._store_used
+            if length[o]:
+                src = slice(int(start[o]), int(start[o] + length[o]))
+                dst = slice(new_start, new_start + int(length[o]))
+                self._store_src[dst] = self._store_src[src]
+                self._store_val[dst] = self._store_val[src]
+                self._store_row[dst] = self._store_row[src]
+            start[o] = new_start
+            cap[o] = new_cap
+            self._store_used = new_start + new_cap
+
+        # Stable within-batch order keeps each span in arrival order, the
+        # same order the cold compile's stable argsort produces.
+        order = np.argsort(object_idx, kind="stable")
+        sorted_objects = object_idx[order]
+        n_batch = order.shape[0]
+        group_first = np.flatnonzero(
+            np.concatenate([[True], sorted_objects[1:] != sorted_objects[:-1]])
+        )
+        group_sizes = np.diff(np.concatenate([group_first, [n_batch]]))
+        within = np.arange(n_batch, dtype=np.int64) - np.repeat(group_first, group_sizes)
+        slots = start[sorted_objects] + length[sorted_objects] + within
+        self._store_src[slots] = source_idx[order]
+        self._store_val[slots] = value_code[order]
+        self._store_row[slots] = first_row + order
+        length[touched] += counts
+
+    def _reserve_store(self, extra: int) -> None:
+        need = self._store_used + extra
+        capacity = self._store_src.shape[0]
+        if need <= capacity:
+            return
+        new_capacity = max(2 * capacity, need)
+        for attr in ("_store_src", "_store_val", "_store_row"):
+            old = getattr(self, attr)
+            fresh = np.zeros(new_capacity, dtype=np.int64)
+            fresh[: self._store_used] = old[: self._store_used]
+            setattr(self, attr, fresh)
+
+    # ------------------------------------------------------------------
+    # Materialized snapshot (exact DenseEncoding layout)
+    # ------------------------------------------------------------------
+    def _materialize(self) -> Dict[str, np.ndarray]:
+        if self._snapshot is not None:
+            return self._snapshot
+        if self._n_obs == 0:
+            raise ValueError(
+                "cannot encode a dataset with zero observations; "
+                "append observations before compiling the index arrays"
+            )
+        n_objects = len(self.objects)
+        start = self._span_start.data
+        length = self._span_len.data
+        positions = expand_spans(start, length)
+        obs_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(length, dtype=np.int64)]
+        )
+        obs_object_idx = np.repeat(np.arange(n_objects, dtype=np.int64), length)
+        obs_source_idx = self._store_src[positions]
+        obs_value_code = self._store_val[positions]
+        obs_order = self._store_row[positions]
+
+        domain_sizes = self._domain_sizes.data.copy()
+        pair_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(domain_sizes, dtype=np.int64)]
+        )
+        pair_object_idx = np.repeat(np.arange(n_objects, dtype=np.int64), domain_sizes)
+        pair_value_code = expand_spans(np.zeros(n_objects, dtype=np.int64), domain_sizes)
+        obs_pair_idx = pair_offsets[obs_object_idx] + obs_value_code
+        log_alternatives = np.log(np.maximum(domain_sizes - 1, 1).astype(float))
+        # Same bincount over the same object-sorted order as the cold
+        # compile, so the float accumulation is bit-identical.
+        base_scores = np.bincount(
+            obs_pair_idx,
+            weights=log_alternatives[obs_object_idx],
+            minlength=int(pair_offsets[-1]),
+        )
+        self._snapshot = {
+            "obs_order": obs_order,
+            "obs_offsets": obs_offsets,
+            "obs_object_idx": obs_object_idx,
+            "obs_source_idx": obs_source_idx,
+            "obs_value_code": obs_value_code,
+            "domain_sizes": domain_sizes,
+            "pair_offsets": pair_offsets,
+            "pair_object_idx": pair_object_idx,
+            "pair_value_code": pair_value_code,
+            "obs_pair_idx": obs_pair_idx,
+            "log_alternatives": log_alternatives,
+            "base_scores": base_scores,
+        }
+        return self._snapshot
+
+    obs_order = property(lambda self: self._materialize()["obs_order"])
+    obs_offsets = property(lambda self: self._materialize()["obs_offsets"])
+    obs_object_idx = property(lambda self: self._materialize()["obs_object_idx"])
+    obs_source_idx = property(lambda self: self._materialize()["obs_source_idx"])
+    obs_value_code = property(lambda self: self._materialize()["obs_value_code"])
+    domain_sizes = property(lambda self: self._materialize()["domain_sizes"])
+    pair_offsets = property(lambda self: self._materialize()["pair_offsets"])
+    pair_object_idx = property(lambda self: self._materialize()["pair_object_idx"])
+    pair_value_code = property(lambda self: self._materialize()["pair_value_code"])
+    obs_pair_idx = property(lambda self: self._materialize()["obs_pair_idx"])
+    log_alternatives = property(lambda self: self._materialize()["log_alternatives"])
+    base_scores = property(lambda self: self._materialize()["base_scores"])
+
+    @property
+    def pair_values(self) -> List[Value]:
+        """Claimed value of every candidate row (lazily materialized)."""
+        if self._pair_values is None:
+            values: List[Value] = []
+            for domain in self._domains:
+                values.extend(domain.items)
+            self._pair_values = values
+        return self._pair_values
+
+    @property
+    def object_ids(self) -> List[ObjectId]:
+        """All object ids in index order."""
+        return self.objects.items
+
+    def domain_by_index(self, o_idx: int) -> Indexer[Value]:
+        """Domain indexer for the object with integer index ``o_idx``."""
+        return self._domains[o_idx]
+
+    @property
+    def live_domain_sizes(self) -> np.ndarray:
+        """Per-object domain sizes, read from the live append state.
+
+        Unlike :attr:`domain_sizes` this never materializes the snapshot,
+        so O(batch) consumers (the vectorized streaming fuser) can read it
+        on every batch.  The returned view is only valid until the next
+        append.
+        """
+        return self._domain_sizes.data
+
+    def object_claims(self, o_idx: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(source_idx, value_code)`` of one object's claims, in arrival order.
+
+        Reads the live span directly (no snapshot materialization); the
+        arrays are copies and remain valid across appends.
+        """
+        start = int(self._span_start.data[o_idx])
+        length = int(self._span_len.data[o_idx])
+        span = slice(start, start + length)
+        return self._store_src[span].copy(), self._store_val[span].copy()
+
+    # ------------------------------------------------------------------
+    # Cached design matrix
+    # ------------------------------------------------------------------
+    def design(self, use_features: bool = True) -> Tuple[np.ndarray, FeatureSpace]:
+        """The current ``|S| x |K|`` design matrix, extended per new source.
+
+        The :class:`FeatureSpace` is fitted once on the full
+        ``source_features`` mapping (same metadata a cold
+        :func:`~repro.fusion.features.build_design_matrix` would see), so
+        appending sources only encodes their new rows.
+        """
+        key = bool(use_features)
+        cached = self._design_cache.get(key)
+        if cached is None:
+            space = FeatureSpace()
+            if key:
+                space.fit_metadata(self.source_features)
+            else:
+                space._fitted = True
+            rows = np.zeros((max(self.n_sources, 8), space.n_columns), dtype=float)
+            cached = [rows, 0, space]
+            self._design_cache[key] = cached
+        rows, n_encoded, space = cached
+        n_sources = self.n_sources
+        if n_encoded < n_sources:
+            if n_sources > rows.shape[0]:
+                fresh = np.zeros((max(2 * rows.shape[0], n_sources), rows.shape[1]))
+                fresh[:n_encoded] = rows[:n_encoded]
+                rows = fresh
+                cached[0] = rows
+            if key:
+                items = self.sources.items
+                for s_idx in range(n_encoded, n_sources):
+                    feats = self.source_features.get(items[s_idx])
+                    if feats:
+                        rows[s_idx] = space.encode(feats)
+            cached[1] = n_sources
+        return rows[:n_sources], space
+
+    # ------------------------------------------------------------------
+    # Ground-truth codings (DenseEncoding-compatible)
+    # ------------------------------------------------------------------
+    def truth_codes(self, truth: Mapping[ObjectId, Value]) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode a truth mapping as per-object arrays.
+
+        Same semantics as :meth:`DenseEncoding.truth_codes`, evaluated
+        against the incrementally-maintained indexers.
+        """
+        labeled = np.zeros(self.n_objects, dtype=bool)
+        codes = np.full(self.n_objects, -1, dtype=np.int64)
+        for obj, value in truth.items():
+            o_idx = self.objects.get(obj)
+            if o_idx is None:
+                continue
+            labeled[o_idx] = True
+            code = self._domains[o_idx].get(value)
+            if code is not None:
+                codes[o_idx] = code
+        return labeled, codes
+
+    def label_rows(self, truth: Mapping[ObjectId, Value]) -> np.ndarray:
+        """Candidate row of each object's true value; -1 when unavailable."""
+        _, codes = self.truth_codes(truth)
+        rows = np.full(self.n_objects, -1, dtype=np.int64)
+        claimed = codes >= 0
+        rows[claimed] = self.pair_offsets[:-1][claimed] + codes[claimed]
+        return rows
+
+    # ------------------------------------------------------------------
+    # Export and the rebuild escape hatch
+    # ------------------------------------------------------------------
+    def observations(self) -> List[Observation]:
+        """The accumulated observations in arrival order."""
+        snapshot = self._materialize()
+        by_row_source = np.empty(self._n_obs, dtype=np.int64)
+        by_row_object = np.empty(self._n_obs, dtype=np.int64)
+        by_row_value = np.empty(self._n_obs, dtype=np.int64)
+        rows = snapshot["obs_order"]
+        by_row_source[rows] = snapshot["obs_source_idx"]
+        by_row_object[rows] = snapshot["obs_object_idx"]
+        by_row_value[rows] = snapshot["obs_value_code"]
+        source_items = self.sources.items
+        object_items = self.objects.items
+        return [
+            Observation(source_items[s], object_items[o], self._domains[o].item(v))
+            for s, o, v in zip(
+                by_row_source.tolist(), by_row_object.tolist(), by_row_value.tolist()
+            )
+        ]
+
+    def to_dataset(
+        self,
+        ground_truth: Optional[Mapping[ObjectId, Value]] = None,
+        true_accuracies: Optional[Mapping[SourceId, float]] = None,
+        attach_encoding: bool = True,
+    ) -> FusionDataset:
+        """Materialize the accumulated stream as a :class:`FusionDataset`.
+
+        With ``attach_encoding=True`` (default) the dataset's cached
+        :class:`DenseEncoding` is fabricated from the incremental snapshot
+        arrays, so downstream learners skip the cold index compile (only
+        the O(dataset) container walk remains).
+        """
+        dataset = FusionDataset(
+            self.observations(),
+            ground_truth=ground_truth,
+            source_features=self.source_features,
+            true_accuracies=true_accuracies,
+            name=self.name,
+        )
+        if attach_encoding:
+            dataset._dense_encoding = self.as_dense(dataset)
+        return dataset
+
+    def as_dense(self, dataset: FusionDataset) -> DenseEncoding:
+        """Fabricate a :class:`DenseEncoding` view over the snapshot arrays.
+
+        ``dataset`` must be the materialized accumulated dataset (see
+        :meth:`to_dataset`); no index arrays are recompiled.
+        """
+        snapshot = self._materialize()
+        dense = DenseEncoding.__new__(DenseEncoding)
+        dense.dataset = dataset
+        for name, array in snapshot.items():
+            setattr(dense, name, array)
+        dense._pair_values = list(self.pair_values)
+        dense._design_cache = {
+            key: (self.design(key)[0], self._design_cache[key][2])
+            for key in self._design_cache
+        }
+        return dense
+
+    def rebuild(self) -> DenseEncoding:
+        """Cold-recompile the accumulated dataset from scratch.
+
+        The escape hatch for suspected stale incremental state: the
+        accumulated observations are re-encoded by a fresh
+        :class:`DenseEncoding`, whose arrays replace the cached snapshot.
+        Returns the fresh encoding.
+        """
+        dataset = self.to_dataset(attach_encoding=False)
+        fresh = DenseEncoding(dataset)
+        self._snapshot = {
+            "obs_order": fresh.obs_order,
+            "obs_offsets": fresh.obs_offsets,
+            "obs_object_idx": fresh.obs_object_idx,
+            "obs_source_idx": fresh.obs_source_idx,
+            "obs_value_code": fresh.obs_value_code,
+            "domain_sizes": fresh.domain_sizes,
+            "pair_offsets": fresh.pair_offsets,
+            "pair_object_idx": fresh.pair_object_idx,
+            "pair_value_code": fresh.pair_value_code,
+            "obs_pair_idx": fresh.obs_pair_idx,
+            "log_alternatives": fresh.log_alternatives,
+            "base_scores": fresh.base_scores,
+        }
+        self._pair_values = fresh.pair_values
+        return fresh

@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .dataset import FusionDataset
-from .types import DatasetError, Indexer
+from .types import DatasetError, Indexer, SourceId
 
 
 @dataclass(frozen=True)
@@ -92,7 +92,18 @@ class FeatureSpace:
         ``|S| x 0`` matrix, which turns SLiMFast into the paper's
         ``Sources-*`` variants.
         """
-        metadata = dataset.source_features
+        self.fit_metadata(dataset.source_features)
+        return self.encode_sources(dataset)
+
+    def fit_metadata(self, metadata: Mapping[SourceId, Mapping[str, object]]) -> "FeatureSpace":
+        """Learn the encoding from a raw source-metadata mapping.
+
+        The dataset-free half of :meth:`fit`: quantile edges and column
+        layout are derived from ``metadata`` alone, so callers that grow a
+        dataset incrementally (:class:`~repro.fusion.encoding.IncrementalEncoding`)
+        can fit the space once up front and :meth:`encode` each new
+        source's row as it appears.  Returns ``self`` for chaining.
+        """
         names = sorted({name for feats in metadata.values() for name in feats})
 
         for name in names:
@@ -105,7 +116,7 @@ class FeatureSpace:
                 self._add_column(name, f"{name}=<missing>")
 
         self._fitted = True
-        return self.encode_sources(dataset)
+        return self
 
     def _fit_numeric_column(self, name: str, values: np.ndarray) -> None:
         quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]

@@ -49,16 +49,98 @@ class TestStreamingFuserBasics:
         fuser.observe(Observation("s2", "o", "b"))
         assert fuser.current_value("o") == "a"
 
-    def test_decay_shrinks_history(self):
-        fuser = StreamingFuser(decay=0.5, self_training=False)
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_decay_shrinks_history(self, backend):
+        fuser = StreamingFuser(decay=0.5, self_training=False, backend=backend)
         fuser.reveal_truth("o1", "v")
         for i in range(10):
             fuser.observe(
-                Observation("s", f"o1", "v") if i == 0 else Observation("s", f"x{i}", "v")
+                Observation("s", "o1", "v") if i == 0 else Observation("s", f"x{i}", "v")
             )
-        state = fuser._sources["s"]
+        if backend == "reference":
+            total = fuser._sources["s"].total
+        else:
+            total = float(fuser._total[0])
         # decayed totals stay bounded instead of growing linearly
-        assert state.total < 5.0
+        assert total < 5.0
+
+
+class TestVectorizedBackend:
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            StreamingFuser(backend="numba")
+        with pytest.raises(ValueError, match="refit_every"):
+            StreamingFuser(refit_every=0)
+        # The reference engine has no re-fit hook; rejecting the combination
+        # beats silently ignoring the requested periodic re-anchoring.
+        with pytest.raises(ValueError, match="backend='vectorized'"):
+            StreamingFuser(backend="reference", refit_every=100)
+        with pytest.raises(ValueError, match="backend='vectorized'"):
+            StreamingFuser(backend="reference", source_features={"s": {"year": 2017}})
+
+    def test_observe_batch_bulk(self):
+        fuser = StreamingFuser()
+        fuser.observe_batch(
+            [
+                Observation("s1", "o1", "a"),
+                Observation("s2", "o1", "b"),
+                Observation("s1", "o2", "c"),
+            ]
+        )
+        assert fuser.n_processed == 3
+        assert set(fuser.posterior("o1")) == {"a", "b"}
+        assert fuser.current_value("o2") == "c"
+
+    def test_empty_batch_is_noop(self):
+        fuser = StreamingFuser()
+        fuser.observe_batch([])
+        assert fuser.n_processed == 0
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_empty_fuser_snapshots_cleanly(self, backend):
+        """to_result before any observation returns an empty result."""
+        fuser = StreamingFuser(backend=backend)
+        fuser.reveal_truth("o", "v")  # truth-only state is still empty
+        result = fuser.to_result()
+        assert result.values == {}
+        assert result.source_accuracies == {}
+        assert result.diagnostics["n_processed"] == 0
+
+    def test_duplicate_claim_rejected(self):
+        from repro.fusion import DatasetError
+
+        fuser = StreamingFuser()
+        fuser.observe(Observation("s", "o", "a"))
+        with pytest.raises(DatasetError, match="duplicate"):
+            fuser.observe(Observation("s", "o", "b"))
+
+    def test_truth_promoted_when_claimed_later(self):
+        """A truth value outside the claimed domain clamps once claimed."""
+        fuser = StreamingFuser(self_training=False)
+        fuser.observe(Observation("s1", "o", "wrong"))
+        fuser.reveal_truth("o", "right")
+        accs_before = fuser.source_accuracies()
+        fuser.observe(Observation("s2", "o", "right"))
+        accs = fuser.source_accuracies()
+        assert accs["s2"] > accs_before["s1"]
+        assert fuser.current_value("o") == "right"
+
+    def test_periodic_refit_runs(self, small_dataset):
+        fuser = StreamingFuser(
+            refit_every=40,
+            refit_overrides={"max_iterations": 3},
+        )
+        fuser.run(
+            small_dataset.observations,
+            truth=dict(small_dataset.ground_truth),
+            batch_size=25,
+        )
+        assert fuser.n_refits >= 1
+        result = fuser.to_result()
+        assert result.diagnostics["n_refits"] == fuser.n_refits
+        assert result.has_arrays
+        accs = fuser.source_accuracies()
+        assert all(0.0 < acc < 1.0 for acc in accs.values())
 
 
 class TestReplayDataset:

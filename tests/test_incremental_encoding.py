@@ -1,0 +1,396 @@
+"""Equivalence contract of the incremental (append-only) encoding layer.
+
+Two machine-checked contracts:
+
+1. **Encoding equivalence** — after *any* sequence of appends, every
+   materialized :class:`repro.fusion.encoding.IncrementalEncoding` array
+   equals a cold :class:`repro.fusion.encoding.DenseEncoding` compile of
+   the accumulated dataset: index arrays and ``base_scores`` exactly, the
+   design matrix at ``atol=1e-12`` (byte-equal in practice).  The replay
+   tests below cut seeded random datasets into random batch sizes to sweep
+   the relocation/doubling paths.
+2. **Streaming equivalence** — the vectorized
+   :class:`repro.extensions.streaming.StreamingFuser` reproduces the
+   reference dict engine exactly at batch size 1 (bit-identical posteriors
+   and source accuracies, including decay and self-training), and tracks
+   it closely under mini-batching (batch-start trusts; see the streaming
+   module docstring for the declared batch semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.em import EMConfig, EMLearner, fit_incremental
+from repro.core.structure import build_incremental_structure, build_pair_structure
+from repro.data import SyntheticConfig, generate
+from repro.extensions.streaming import StreamingFuser, replay_dataset
+from repro.fusion.dataset import FusionDataset
+from repro.fusion.encoding import DenseEncoding, IncrementalEncoding, encode_dataset
+
+ARRAY_NAMES = [
+    "obs_order",
+    "obs_offsets",
+    "obs_object_idx",
+    "obs_source_idx",
+    "obs_value_code",
+    "domain_sizes",
+    "pair_offsets",
+    "pair_object_idx",
+    "pair_value_code",
+    "obs_pair_idx",
+]
+
+CONFIGS = [
+    SyntheticConfig(
+        n_sources=40,
+        n_objects=90,
+        density=0.15,
+        avg_accuracy=0.72,
+        n_features=6,
+        n_informative=3,
+        seed=101,
+        name="binary-featureful",
+    ),
+    SyntheticConfig(
+        n_sources=25,
+        n_objects=70,
+        density=0.25,
+        avg_accuracy=0.6,
+        domain_size_range=(3, 5),
+        n_features=5,
+        n_informative=2,
+        seed=202,
+        name="multi-valued",
+    ),
+    SyntheticConfig(
+        n_sources=30,
+        n_objects=60,
+        density=0.2,
+        avg_accuracy=0.8,
+        n_features=0,
+        n_informative=0,
+        seed=303,
+        name="featureless",
+    ),
+]
+
+
+@pytest.fixture(params=CONFIGS, ids=lambda c: c.name)
+def dataset(request):
+    return generate(request.param).dataset
+
+
+def _random_batches(items, rng, max_batch=40):
+    """Cut ``items`` into random-size batches (including size-1 batches)."""
+    batches = []
+    i = 0
+    while i < len(items):
+        size = int(rng.integers(1, max_batch))
+        batches.append(items[i : i + size])
+        i += size
+    return batches
+
+
+def _assert_matches_cold(incremental: IncrementalEncoding, cold: DenseEncoding):
+    for name in ARRAY_NAMES:
+        np.testing.assert_array_equal(getattr(incremental, name), getattr(cold, name), err_msg=name)
+    np.testing.assert_array_equal(incremental.log_alternatives, cold.log_alternatives)
+    np.testing.assert_array_equal(incremental.base_scores, cold.base_scores)
+    assert incremental.pair_values == cold.pair_values
+    for use_features in (True, False):
+        design_inc, space_inc = incremental.design(use_features)
+        design_cold, space_cold = cold.design(use_features)
+        np.testing.assert_allclose(design_inc, design_cold, atol=1e-12)
+        assert space_inc.column_labels == space_cold.column_labels
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("replay_seed", [0, 1, 2])
+    def test_random_batch_replay_matches_cold_compile(self, dataset, replay_seed):
+        """Appending in random batch sizes reproduces the cold arrays."""
+        rng = np.random.default_rng(replay_seed)
+        incremental = IncrementalEncoding(
+            source_features=dataset.source_features, name=dataset.name
+        )
+        for batch in _random_batches(list(dataset.observations), rng):
+            incremental.append(batch)
+        _assert_matches_cold(incremental, encode_dataset(dataset))
+
+    def test_intermediate_snapshots_also_match(self, dataset):
+        """Every prefix of the stream is itself cold-equivalent."""
+        observations = list(dataset.observations)
+        incremental = IncrementalEncoding(source_features=dataset.source_features)
+        rng = np.random.default_rng(7)
+        consumed = 0
+        for batch in _random_batches(observations, rng, max_batch=120):
+            incremental.append(batch)
+            consumed += len(batch)
+            prefix = FusionDataset(observations[:consumed], source_features=dataset.source_features)
+            np.testing.assert_array_equal(
+                incremental.obs_pair_idx, DenseEncoding(prefix).obs_pair_idx
+            )
+
+    def test_truth_codes_and_label_rows_match(self, dataset):
+        truth = dataset.split(0.4, seed=3).train_truth
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        cold = encode_dataset(dataset)
+        labeled_inc, codes_inc = incremental.truth_codes(truth)
+        labeled_cold, codes_cold = cold.truth_codes(truth)
+        np.testing.assert_array_equal(labeled_inc, labeled_cold)
+        np.testing.assert_array_equal(codes_inc, codes_cold)
+        np.testing.assert_array_equal(incremental.label_rows(truth), cold.label_rows(truth))
+
+    def test_incremental_structure_matches_vectorized_build(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        built = build_incremental_structure(incremental)
+        reference = build_pair_structure(dataset, backend="vectorized")
+        assert built.object_ids == reference.object_ids
+        assert built.pair_values == reference.pair_values
+        np.testing.assert_array_equal(built.pair_offsets, reference.pair_offsets)
+        np.testing.assert_array_equal(built.obs_pair_idx, reference.obs_pair_idx)
+        np.testing.assert_array_equal(built.base_scores, reference.base_scores)
+        truth = dataset.split(0.3, seed=1).train_truth
+        np.testing.assert_array_equal(built.label_rows(truth), reference.label_rows(truth))
+
+    def test_to_dataset_round_trip_attaches_snapshot(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        rebuilt = incremental.to_dataset(ground_truth=dataset.ground_truth)
+        assert rebuilt.observations == dataset.observations
+        assert rebuilt.ground_truth == dataset.ground_truth
+        attached = encode_dataset(rebuilt)
+        # The attached encoding is the fabricated snapshot view, not a
+        # recompile — its arrays are the incremental arrays themselves.
+        assert attached.obs_pair_idx is incremental.obs_pair_idx
+        np.testing.assert_array_equal(attached.base_scores, DenseEncoding(rebuilt).base_scores)
+
+    def test_rebuild_escape_hatch(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        before = incremental.obs_pair_idx
+        fresh = incremental.rebuild()
+        assert isinstance(fresh, DenseEncoding)
+        np.testing.assert_array_equal(incremental.obs_pair_idx, before)
+        assert incremental.obs_pair_idx is fresh.obs_pair_idx
+        _assert_matches_cold(incremental, encode_dataset(dataset))
+
+    def test_object_claims_and_live_domain_sizes(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        cold = encode_dataset(dataset)
+        np.testing.assert_array_equal(incremental.live_domain_sizes, cold.domain_sizes)
+        for o_idx in range(0, dataset.n_objects, 17):
+            sources, codes = incremental.object_claims(o_idx)
+            span = slice(int(cold.obs_offsets[o_idx]), int(cold.obs_offsets[o_idx + 1]))
+            np.testing.assert_array_equal(sources, cold.obs_source_idx[span])
+            np.testing.assert_array_equal(codes, cold.obs_value_code[span])
+
+    def test_duplicate_claim_rejected(self):
+        from repro.fusion import DatasetError
+
+        incremental = IncrementalEncoding()
+        incremental.append([("s", "o", "a")])
+        with pytest.raises(DatasetError, match="duplicate"):
+            incremental.append([("s", "o", "b")])
+
+    def test_rejected_batch_leaves_encoding_untouched(self):
+        """Appends are atomic: a mid-batch duplicate mutates nothing."""
+        from repro.fusion import DatasetError
+
+        incremental = IncrementalEncoding()
+        incremental.append([("s1", "o1", "a")])
+        bad_batch = [("s2", "o2", "b"), ("s3", "o3", "c"), ("s1", "o1", "x")]
+        with pytest.raises(DatasetError, match="duplicate"):
+            incremental.append(bad_batch)
+        assert incremental.n_sources == 1
+        assert incremental.n_objects == 1
+        assert incremental.n_observations == 1
+        # The valid prefix was not interned and can be appended cleanly.
+        incremental.append(bad_batch[:2])
+        _assert_matches_cold(
+            incremental,
+            DenseEncoding(FusionDataset([("s1", "o1", "a"), *bad_batch[:2]])),
+        )
+        # Intra-batch duplicates are rejected up front too.
+        with pytest.raises(DatasetError, match="duplicate"):
+            incremental.append([("s9", "o9", "a"), ("s9", "o9", "b")])
+        assert incremental.n_observations == 3
+
+    def test_empty_batch_is_noop(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        before = incremental.obs_pair_idx
+        batch = incremental.append([])
+        assert len(batch) == 0
+        assert incremental.obs_pair_idx is before  # cache not invalidated
+
+
+class TestExtendedDataset:
+    """The immutable append API on the dataset container."""
+
+    def test_extended_preserves_prefix_indices(self, dataset):
+        fresh = [("brand-new-source", obj, "zzz") for obj in list(dataset.objects)[:3]]
+        extended = dataset.extended(fresh, ground_truth={fresh[0][1]: "zzz"})
+        assert extended.n_observations == dataset.n_observations + 3
+        # Existing source/object indices and value codes are preserved.
+        np.testing.assert_array_equal(
+            extended.obs_source_idx[: dataset.n_observations], dataset.obs_source_idx
+        )
+        np.testing.assert_array_equal(
+            extended.obs_value_idx[: dataset.n_observations], dataset.obs_value_idx
+        )
+        assert extended.ground_truth[fresh[0][1]] == "zzz"
+
+    def test_extended_matches_incremental_append(self, dataset):
+        fresh = [("late-source", obj, "late-value") for obj in list(dataset.objects)[:5]]
+        extended = dataset.extended(fresh)
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        incremental.append(fresh)
+        _assert_matches_cold(incremental, encode_dataset(extended))
+
+
+class TestDegenerateInputs:
+    """Clear errors (not opaque numpy failures) at the encoding boundary."""
+
+    def test_zero_observations_raise_clear_error(self, dataset):
+        # The container already rejects an empty build...
+        from repro.fusion import DatasetError
+
+        with pytest.raises(DatasetError, match="at least one observation"):
+            FusionDataset([])
+        # ...and the encoder guards against emptied/stubbed datasets too.
+        hollow = FusionDataset([("s", "o", "v")])
+        hollow._observations = ()
+        with pytest.raises(ValueError, match="zero observations"):
+            DenseEncoding(hollow)
+        with pytest.raises(ValueError, match="zero observations"):
+            _ = IncrementalEncoding().obs_offsets
+
+    def test_empty_domain_raises_clear_error(self):
+        hollow = FusionDataset([("s", "o", "v")])
+        hollow._domains[0] = type(hollow._domains[0])()  # empty the domain
+        with pytest.raises(ValueError, match="empty claimed domain"):
+            DenseEncoding(hollow)
+
+    def test_single_source_unit_domain_encodes_cleanly(self):
+        """A one-source, unit-domain object is degenerate but valid.
+
+        Unit domains (unanimous claims) are ubiquitous in real datasets,
+        so the boundary must accept them: the candidate block is a single
+        row with zero base score and a point-mass posterior, on both the
+        cold and the incremental path.
+        """
+        unit = FusionDataset([("only-source", "only-object", "the-value")])
+        cold = encode_dataset(unit)
+        assert cold.n_pairs == 1
+        np.testing.assert_array_equal(cold.base_scores, [0.0])
+        incremental = IncrementalEncoding()
+        incremental.append([("only-source", "only-object", "the-value")])
+        _assert_matches_cold(incremental, cold)
+        fuser = StreamingFuser()
+        fuser.observe_batch(unit.observations)
+        assert fuser.posterior("only-object") == {"the-value": 1.0}
+
+
+class TestStreamingEquivalence:
+    """Vectorized streaming fuser vs the reference dict engine."""
+
+    @pytest.mark.parametrize(
+        "fuser_kwargs",
+        [{}, {"self_training": False}, {"decay": 0.995}],
+        ids=["default", "no-self-training", "decaying"],
+    )
+    def test_single_observation_batches_are_exact(self, dataset, fuser_kwargs):
+        truth = dataset.split(0.4, seed=0).train_truth
+        engines = {
+            backend: StreamingFuser(backend=backend, **fuser_kwargs)
+            for backend in ("reference", "vectorized")
+        }
+        rng = np.random.default_rng(5)
+        order = rng.permutation(dataset.n_observations)
+        for fuser in engines.values():
+            fuser.run((dataset.observations[int(i)] for i in order), truth=truth, batch_size=1)
+        reference, vectorized = engines["reference"], engines["vectorized"]
+        ref_accs = reference.source_accuracies()
+        vec_accs = vectorized.source_accuracies()
+        assert ref_accs.keys() == vec_accs.keys()
+        for source, acc in ref_accs.items():
+            assert vec_accs[source] == acc  # bit-identical
+        for obj in dataset.objects:
+            ref_post = reference.posterior(obj)
+            vec_post = vectorized.posterior(obj)
+            assert ref_post.keys() == vec_post.keys()
+            for value, prob in ref_post.items():
+                assert vec_post[value] == prob  # bit-identical
+
+    def test_to_result_matches_reference_packaging(self, dataset):
+        truth = dataset.split(0.3, seed=1).train_truth
+        ref = replay_dataset(dataset, truth, seed=2, backend="reference")
+        vec = replay_dataset(dataset, truth, seed=2, backend="vectorized", batch_size=1)
+        assert vec.has_arrays
+        assert set(vec.values) == set(ref.values)
+        for obj, dist in ref.posteriors.items():
+            assert vec.posteriors[obj].keys() == dist.keys()
+            for value, prob in dist.items():
+                assert vec.posteriors[obj][value] == pytest.approx(prob, abs=1e-9)
+        for source, acc in ref.source_accuracies.items():
+            assert vec.source_accuracies[source] == pytest.approx(acc, abs=1e-12)
+
+    def test_minibatch_replay_tracks_reference(self, dataset):
+        """Batched replay (batch-start trusts) stays close to sequential."""
+        truth = dataset.split(0.4, seed=0).train_truth
+        ref = replay_dataset(dataset, truth, seed=0, backend="reference")
+        vec = replay_dataset(dataset, truth, seed=0, backend="vectorized", batch_size=64)
+        agreement = np.mean([ref.values[obj] == vec.values[obj] for obj in dataset.objects.items])
+        assert agreement >= 0.9
+        deltas = [
+            abs(ref.source_accuracies[s] - vec.source_accuracies[s])
+            for s in ref.source_accuracies
+        ]
+        assert float(np.mean(deltas)) < 0.05
+
+    def test_unclaimed_truth_becomes_override(self):
+        fuser = StreamingFuser()
+        fuser.observe_batch([("s1", "o", "a"), ("s2", "o", "b")])
+        fuser.reveal_truth("o", "never-claimed")
+        assert fuser.current_value("o") == "never-claimed"
+        result = fuser.to_result()
+        assert result.values["o"] == "never-claimed"
+        assert result.posteriors["o"]["never-claimed"] == 1.0
+
+    def test_refit_warm_state_handoff(self, dataset):
+        """Periodic re-fits reuse the warm state and stay sane."""
+        truth = dataset.split(0.5, seed=0).train_truth
+        fuser = StreamingFuser(
+            source_features=dataset.source_features,
+            refit_every=max(40, dataset.n_observations // 3),
+            refit_overrides={"max_iterations": 4},
+        )
+        fuser.run(dataset.observations, truth=truth, batch_size=64)
+        assert fuser.n_refits >= 1
+        assert fuser._warm_state is not None
+        # Re-anchored accuracies should correlate with a direct EM fit.
+        model, _ = fit_incremental(fuser.encoding, truth=truth, max_iterations=4)
+        accs = fuser.source_accuracies()
+        fitted = dict(zip(dataset.sources.items, model.accuracies()))
+        correlation = np.corrcoef([accs[s] for s in fitted], [fitted[s] for s in fitted])[0, 1]
+        assert correlation > 0.5
+
+
+class TestFitIncremental:
+    def test_matches_cold_em_fit(self, dataset):
+        truth = dataset.split(0.3, seed=2).train_truth
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        model, learner = fit_incremental(incremental, truth=truth, max_iterations=6)
+        cold = EMLearner(
+            EMConfig(max_iterations=6, solver="lbfgs-warm", backend="vectorized")
+        ).fit(dataset, truth)
+        np.testing.assert_allclose(model.accuracies(), cold.accuracies(), atol=1e-8)
+        assert learner.warm_state_ is not None
+
+    def test_warm_state_does_not_change_optimum(self, dataset):
+        truth = dataset.split(0.3, seed=2).train_truth
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        cold_model, learner = fit_incremental(incremental, truth=truth, max_iterations=6)
+        seeded_model, _ = fit_incremental(
+            incremental, truth=truth, warm_state=learner.warm_state_, max_iterations=6
+        )
+        np.testing.assert_allclose(seeded_model.accuracies(), cold_model.accuracies(), atol=1e-6)
