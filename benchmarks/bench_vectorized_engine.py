@@ -5,10 +5,11 @@ rewrote — posterior queries, array-native fusion-result packaging, the EM
 E-step and full EM/ERM fits (including the warm-started second-order
 M-step) — under both backends, plus two engine-vs-engine cases:
 ``sweep_16`` (a 16-point EM sweep run by the batched ``SweepRunner``
-versus sequential isolated fits) and ``stream_append`` (the vectorized
-streaming fuser over an incremental encoding versus the reference
-dict-per-observation replay).  Writes a ``BENCH_inference.json``
-trajectory artifact with
+versus sequential isolated fits), ``sweep_16_par`` (the same sweep fanned
+out across ``--sweep-jobs`` worker processes versus serial batched) and
+``stream_append`` (the vectorized streaming fuser over an incremental
+encoding versus the reference dict-per-observation replay).  Writes a
+``BENCH_inference.json`` trajectory artifact with
 per-case median runtimes and speedups.  The per-factor reference Gibbs
 comparison runs only in full (non-smoke) mode; its equivalence is covered
 by the test suite.
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
@@ -80,7 +82,7 @@ def _generate(n_sources: int, n_objects: int, n_observations: int, seed: int = 0
     return generate(config).dataset
 
 
-def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
+def run_benchmarks(smoke: bool, n_observations: int, repeats: int, sweep_jobs: int = 4) -> dict:
     import numpy as np
 
     from repro.core.em import EMLearner
@@ -253,6 +255,18 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
         case_repeats=min(repeats, 3),
     )
 
+    # The same 16-point sweep fanned out across worker processes: serial
+    # batched ("reference" column) versus `n_jobs` workers sharing the
+    # shipped compile.  The worker count is pinned via --sweep-jobs /
+    # BENCH_SWEEP_JOBS so the speedup ratio is comparable across machines
+    # (CI sets it explicitly to the runner's core count).
+    case(
+        "sweep_16_par",
+        lambda: SweepRunner(dataset, mode="batched").run(sweep_specs),
+        lambda: SweepRunner(dataset, mode="batched", n_jobs=sweep_jobs).run(sweep_specs),
+        case_repeats=min(repeats, 3),
+    )
+
     # Streaming ingest: incremental encoding + vectorized batch scatters
     # versus the reference dict-per-observation replay of the same stream
     # (same random order, same truth reveal).
@@ -302,6 +316,10 @@ def run_benchmarks(smoke: bool, n_observations: int, repeats: int) -> dict:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            # Parallel-case context: a sweep_16_par ratio is only
+            # meaningful relative to the cores/workers it ran with.
+            "cpu_count": os.cpu_count(),
+            "sweep_jobs": sweep_jobs,
         },
         "dataset": {
             "n_sources": dataset.n_sources,
@@ -329,6 +347,17 @@ def check_regression(report: dict, baseline_path: Path, max_regression: float) -
         # order-of-magnitude cases only fail when they collapse: a
         # 700x -> 500x swing is timer noise, 700x -> 8x is a regression.
         if reference["speedup"] < 2.0:
+            if current["speedup"] >= 2.0:
+                # The case cleared the gating threshold on this machine but
+                # its committed baseline never has (e.g. sweep_16_par's was
+                # measured on a 1-core box): refreshing the baseline from
+                # this machine arms its per-case gate.
+                print(
+                    f"note: {current['name']} at {current['speedup']:.2f}x vs "
+                    f"ungated baseline {reference['speedup']:.2f}x; refresh the "
+                    "baseline to arm its regression gate",
+                    file=sys.stderr,
+                )
             continue
         floor = min(reference["speedup"] * (1.0 - max_regression), 10.0)
         if current["speedup"] < floor:
@@ -386,6 +415,14 @@ def main(argv=None) -> int:
         help=f"where to write the JSON artifact (default {DEFAULT_OUTPUT})",
     )
     parser.add_argument(
+        "--sweep-jobs",
+        type=int,
+        default=int(os.environ.get("BENCH_SWEEP_JOBS", "4")),
+        help="worker processes for the sweep_16_par case (default: "
+        "BENCH_SWEEP_JOBS or 4; pin it in CI so runner-core variance "
+        "does not flap the regression gate)",
+    )
+    parser.add_argument(
         "--check-against",
         type=Path,
         default=None,
@@ -401,7 +438,7 @@ def main(argv=None) -> int:
 
     n_observations = args.observations or (2000 if args.smoke else 10000)
 
-    report = run_benchmarks(args.smoke, n_observations, args.repeats)
+    report = run_benchmarks(args.smoke, n_observations, args.repeats, sweep_jobs=args.sweep_jobs)
 
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")

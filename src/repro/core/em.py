@@ -412,6 +412,7 @@ def fit_incremental(
     truth: Optional[Mapping[ObjectId, Value]] = None,
     warm_state: Optional[WarmStartState] = None,
     config: Optional[EMConfig] = None,
+    materialize_dataset: bool = False,
     **overrides: object,
 ) -> Tuple[AccuracyModel, "EMLearner"]:
     """Re-fit the EM model over an incrementally-grown stream.
@@ -421,10 +422,20 @@ def fit_incremental(
     truth revealed so far), run a full EM fit against the encoding's
     current snapshot **without recompiling the index arrays** — the
     candidate structure is built directly from the snapshot
-    (:func:`~repro.core.structure.build_incremental_structure`), the design
-    matrix comes from the encoding's per-source row cache, and the
-    materialized dataset container carries the snapshot as its cached
-    :class:`~repro.fusion.encoding.DenseEncoding`.
+    (:func:`~repro.core.structure.build_incremental_structure`) and the
+    design matrix comes from the encoding's per-source row cache.
+
+    By default the fit also skips the dataset *container*: the learner
+    only needs the sizes, indexers and domains once every derived artifact
+    is prebuilt, so it runs over the O(1)
+    :meth:`~repro.fusion.encoding.IncrementalEncoding.dataset_view` —
+    periodic streaming re-anchors (``StreamingFuser.refit_every``) no
+    longer pay the O(n) ``observations()`` walk of
+    :meth:`~repro.fusion.encoding.IncrementalEncoding.to_dataset` on every
+    re-fit.  ``materialize_dataset=True`` restores the walking path
+    (identical fits — the equivalence is pinned in
+    ``tests/test_incremental_encoding.py``), useful when the caller wants
+    the materialized container afterwards anyway.
 
     ``warm_state`` seeds the first convex M-step solve from a previous
     re-fit (the PR 3 sweep hook): because each M-step is convex this never
@@ -439,7 +450,9 @@ def fit_incremental(
     if config is None and "solver" not in overrides:
         overrides = {**overrides, "solver": "lbfgs-warm"}
     learner = EMLearner(config, **overrides)
-    dataset = encoding.to_dataset()
+    if learner.config.backend != "vectorized":
+        raise ValueError("fit_incremental requires the vectorized backend")
+    dataset = encoding.to_dataset() if materialize_dataset else encoding.dataset_view()
     structure = build_incremental_structure(encoding)
     design, feature_space = encoding.design(learner.config.use_features)
     model = learner.fit(

@@ -82,8 +82,19 @@ def evaluate_initialization(
         raise DatasetError("fraction_used leaves no held-out sources")
 
     restricted = subset_sources(dataset, used)
-    split = restricted.split(train_fraction, seed=seed)
-    truth = split.train_truth if train_fraction < 1.0 else restricted.ground_truth
+    # Only the revealed (train) side is consumed here — evaluation is on
+    # held-out *sources*, not held-out objects — so the split() rule that
+    # both sides be non-empty does not apply.  Reveal everything for
+    # train_fraction=1.0 (the Figure 7 default) and for fractions that
+    # round to every labeled object; clamp fractions that round to zero
+    # up to one revealed object (ERM cannot fit on none).
+    n_labeled = len(restricted.ground_truth)
+    n_train = int(round(train_fraction * n_labeled)) if train_fraction < 1.0 else n_labeled
+    if n_train >= n_labeled:
+        truth = restricted.ground_truth
+    else:
+        n_train = max(n_train, 1)
+        truth = restricted.split(n_train / n_labeled, seed=seed).train_truth
 
     config = erm_config if erm_config is not None else ERMConfig(intercept=True)
     if not config.intercept:

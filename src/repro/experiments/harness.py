@@ -77,57 +77,77 @@ def sweep(
     train_fractions: Sequence[float],
     seeds: Sequence[int] = (0, 1, 2),
     mode: str = "batched",
+    n_jobs: int = 1,
 ) -> List[RunResult]:
     """Full sweep: every method x fraction x seed.
 
     SLiMFast-family methods run through the batched
     :class:`~repro.experiments.sweeps.SweepRunner` by default — one dataset
     compile shared by every (fraction, seed) fit, with warm-start handoff
-    between nearby configurations.  Baselines (and every method under
-    ``mode="isolated"``) keep the original per-fit :func:`run_method` path,
-    whose equivalence to the batched path is pinned in
-    ``tests/experiments/test_sweeps.py``.
+    between nearby configurations, fanned out over ``n_jobs`` worker
+    processes when requested (``None`` = one per CPU; parallel results
+    equal serial ones at the sweep contract tolerances).  Baselines (and
+    every method under ``mode="isolated"``) keep the original per-fit
+    :func:`run_method` path, whose equivalence to the batched path is
+    pinned in ``tests/experiments/test_sweeps.py``.
     """
     from .sweeps import METHOD_SPECS, SWEEP_MODES, FitSpec, SweepRunner
 
     if mode not in SWEEP_MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {SWEEP_MODES}")
-    results: List[RunResult] = []
-    runner = SweepRunner(dataset, mode="batched") if mode == "batched" else None
+    batched = mode == "batched"
+    # One pass to lay out the grid: sweep-able combos become FitSpecs (run
+    # in one possibly-parallel batch below), baselines keep run_method.
+    plan: List[tuple] = []  # ("baseline", ...) or ("spec", spec_index, split)
+    specs = []
+    splits = []
     for fraction in train_fractions:
         for method in methods:
             for seed in seeds:
-                if runner is None or method not in METHOD_SPECS:
-                    results.append(run_method(dataset, method, fraction, seed))
+                if not batched or method not in METHOD_SPECS:
+                    plan.append(("baseline", method, fraction, seed))
                     continue
                 split = dataset.split(fraction, seed=seed)
-                fit = runner.run_one(
+                specs.append(
                     FitSpec.from_method(
                         name=f"{method}@{fraction}#{seed}",
                         method=method,
                         train_truth=split.train_truth,
                     )
                 )
-                result = fit.result
-                result.attach_dataset(dataset)
-                accuracy = result.accuracy(dataset, list(split.test_objects))
-                estimated = result.source_accuracies
-                if estimated is not None:
-                    source_error = dataset_source_accuracy_error(dataset, estimated)
-                else:
-                    source_error = float("nan")
-                results.append(
-                    RunResult(
-                        method=method,
-                        dataset=dataset.name,
-                        train_fraction=fraction,
-                        seed=seed,
-                        object_accuracy=accuracy,
-                        source_error=source_error,
-                        runtime_seconds=fit.runtime_seconds,
-                        diagnostics=dict(result.diagnostics),
-                    )
-                )
+                splits.append(split)
+                plan.append(("spec", len(specs) - 1, method, fraction, seed))
+
+    fits = SweepRunner(dataset, mode="batched", n_jobs=n_jobs).run(specs) if specs else []
+
+    results: List[RunResult] = []
+    for entry in plan:
+        if entry[0] == "baseline":
+            _, method, fraction, seed = entry
+            results.append(run_method(dataset, method, fraction, seed))
+            continue
+        _, index, method, fraction, seed = entry
+        fit, split = fits[index], splits[index]
+        result = fit.result
+        result.attach_dataset(dataset)
+        accuracy = result.accuracy(dataset, list(split.test_objects))
+        estimated = result.source_accuracies
+        if estimated is not None:
+            source_error = dataset_source_accuracy_error(dataset, estimated)
+        else:
+            source_error = float("nan")
+        results.append(
+            RunResult(
+                method=method,
+                dataset=dataset.name,
+                train_fraction=fraction,
+                seed=seed,
+                object_accuracy=accuracy,
+                source_error=source_error,
+                runtime_seconds=fit.runtime_seconds,
+                diagnostics=dict(result.diagnostics),
+            )
+        )
     return results
 
 

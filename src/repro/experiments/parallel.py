@@ -1,0 +1,186 @@
+"""Cross-process plumbing for the parallel sweep engine.
+
+:class:`~repro.experiments.sweeps.SweepRunner` keeps its one-compile-per-
+sweep economics across process boundaries by shipping the compiled state
+to each worker exactly once (through the pool initializer) and fanning the
+independent fits out over the pool.  This module holds the transport
+pieces, which are deliberately generic:
+
+* :func:`resolve_n_jobs` / :func:`chunk_indices` — deterministic worker
+  count and contiguous, balanced spec chunking.  Chunk membership depends
+  only on ``(n_specs, n_jobs)``, never on scheduling order, which is half
+  of the engine's determinism story (the other half is that warm-start
+  donors are chosen *within* a chunk only).
+* :class:`SharedArrayPack` / :func:`attach_shared_arrays` — one
+  ``multiprocessing.shared_memory`` block carrying many named arrays, for
+  start methods that would otherwise pickle the large index/design arrays
+  into every worker (``spawn``/``forkserver``; under ``fork`` the payload
+  is inherited copy-on-write and sharing buys nothing).
+* :class:`SharedArrayRef` — the picklable marker left in an exported state
+  dict where a shared array was extracted.
+
+Workers receive read-only views: every attached array has its
+``writeable`` flag cleared, so a worker that accidentally mutates shared
+state fails loudly instead of corrupting its siblings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+#: Arrays at least this large (bytes) are routed through shared memory
+#: when sharing is active; smaller ones ride the pickle stream, where the
+#: fixed cost of a segment entry would exceed the copy it avoids.
+SHARED_ARRAY_MIN_BYTES = 1 << 16
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` setting to a concrete worker count.
+
+    ``None`` means one worker per available CPU; explicit values must be
+    positive integers (there is no sklearn-style ``-1`` spelling — pass
+    ``None``).
+    """
+    if n_jobs is None:
+        return max(os.cpu_count() or 1, 1)
+    count = int(n_jobs)
+    if count < 1:
+        raise ValueError(f"n_jobs must be a positive integer or None, got {n_jobs!r}")
+    return count
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> List[range]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous ranges.
+
+    Chunks are balanced to within one item and returned in order; empty
+    chunks are dropped.  Contiguity matters: the sweep engine hands each
+    chunk to one worker task, and nearest-config warm-start donors are
+    drawn from the chunk's own completed fits, so specs that were adjacent
+    in the caller's sweep order stay adjacent in a worker.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be positive")
+    bounds = np.linspace(0, n_items, min(n_chunks, max(n_items, 1)) + 1).astype(int)
+    return [
+        range(int(bounds[i]), int(bounds[i + 1]))
+        for i in range(len(bounds) - 1)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def sharing_is_worthwhile() -> bool:
+    """Whether the current start method pickles worker arguments.
+
+    Under ``fork`` the initializer payload is inherited copy-on-write, so
+    shared-memory indirection only adds bookkeeping; ``spawn`` and
+    ``forkserver`` pickle the payload per worker, where one shared segment
+    replaces ``n_jobs`` copies of the large arrays.
+    """
+    return multiprocessing.get_start_method(allow_none=False) != "fork"
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Placeholder for an array extracted into a :class:`SharedArrayPack`."""
+
+    key: str
+
+
+class SharedArrayPack:
+    """Many named arrays packed into one shared-memory segment (owner side).
+
+    The owning process builds the pack, ships :attr:`descriptor` (a small
+    picklable dict) to workers, and must call :meth:`release` once the pool
+    has shut down.  Workers attach with :func:`attach_shared_arrays`.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        from multiprocessing import shared_memory
+
+        entries: List[Tuple[str, str, tuple, int]] = []
+        offset = 0
+        contiguous: Dict[str, np.ndarray] = {}
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            contiguous[key] = array
+            offset = (offset + 7) & ~7  # 8-byte alignment per array
+            entries.append((key, array.dtype.str, array.shape, offset))
+            offset += array.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for key, dtype, shape, start in entries:
+            view = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=start)
+            view[...] = contiguous[key]
+        self.descriptor = {"segment": self._shm.name, "entries": entries}
+
+    def release(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+
+def attach_shared_arrays(descriptor: dict):
+    """Attach to a :class:`SharedArrayPack` segment (worker side).
+
+    Returns ``(arrays, segment)``: read-only views keyed like the owner's
+    mapping, plus the ``SharedMemory`` handle the caller must keep
+    referenced for as long as the views are in use.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=descriptor["segment"])
+    # No attach-side resource_tracker bookkeeping: parent and workers share
+    # one tracker whose per-type cache is a *set*, so the worker's attach
+    # registration dedups against the owner's and the owner's unlink-time
+    # unregister balances both.  An explicit worker-side unregister would
+    # double-remove and crash the tracker at interpreter exit.
+    arrays: Dict[str, np.ndarray] = {}
+    for key, dtype, shape, offset in descriptor["entries"]:
+        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        arrays[key] = view
+    return arrays, segment
+
+
+def extract_shared(
+    state: Mapping[str, np.ndarray],
+    pool: Dict[str, np.ndarray],
+    prefix: str,
+    min_bytes: int = SHARED_ARRAY_MIN_BYTES,
+) -> Dict[str, object]:
+    """Move large arrays of ``state`` into ``pool``, leaving refs behind.
+
+    Non-array values and small arrays pass through unchanged; arrays of at
+    least ``min_bytes`` are added to ``pool`` under ``"{prefix}:{name}"``
+    and replaced by a :class:`SharedArrayRef`.  The caller packs ``pool``
+    into one :class:`SharedArrayPack` at the end.
+    """
+    out: Dict[str, object] = {}
+    for name, value in state.items():
+        if isinstance(value, np.ndarray) and value.nbytes >= min_bytes:
+            key = f"{prefix}:{name}"
+            pool[key] = value
+            out[name] = SharedArrayRef(key)
+        else:
+            out[name] = value
+    return out
+
+
+def resolve_shared(state: Mapping[str, object], arrays: Mapping[str, np.ndarray]) -> Dict:
+    """Inverse of :func:`extract_shared`: swap refs back for attached views."""
+    return {
+        name: arrays[value.key] if isinstance(value, SharedArrayRef) else value
+        for name, value in state.items()
+    }

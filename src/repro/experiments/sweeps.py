@@ -34,11 +34,28 @@ through a fresh :class:`~repro.core.slimfast.SLiMFast`-style pipeline with
 the classic ``"lbfgs"`` default and no cross-fit state.  The equivalence
 of the two modes is pinned in ``tests/experiments/test_sweeps.py`` at the
 same tolerances as the warm-solver contract.
+
+**Cross-process execution** (``n_jobs``): the fits of a sweep are
+independent once the shared artifacts exist, so ``SweepRunner(n_jobs=4)``
+fans :meth:`SweepRunner.run` out over a ``ProcessPoolExecutor`` while
+keeping the one-compile-per-sweep economics — the compiled
+:class:`~repro.fusion.encoding.DenseEncoding` arrays, every cached
+(masked) structure and every label/clamp plan are shipped to each worker
+**once** through the pool initializer (via a picklable encoding export;
+large arrays ride ``multiprocessing.shared_memory`` when the start method
+would otherwise pickle them per worker).  Specs are split into
+contiguous, deterministic chunks — one worker task each — and warm-start
+donors are chosen *within* a chunk only, never across a scheduling-
+dependent process boundary, so parallel results equal the serial batched
+run at the same contract tolerances (and are themselves independent of
+worker scheduling).  See :mod:`repro.experiments.parallel` for the
+transport layer.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -51,10 +68,21 @@ from ..core.model import AccuracyModel
 from ..core.optimizer import decide, estimate_average_accuracy
 from ..core.structure import PairStructure, build_masked_structure, build_pair_structure
 from ..fusion.dataset import FusionDataset
-from ..fusion.encoding import check_backend, encode_dataset
+from ..fusion.encoding import DenseEncoding, check_backend, encode_dataset
 from ..fusion.result import FusionResult
 from ..fusion.types import DatasetError, ObjectId, SourceId, Value
 from ..optim.solvers import WarmStartState
+from . import parallel as _parallel
+from .parallel import (
+    SharedArrayPack,
+    SharedArrayRef,
+    attach_shared_arrays,
+    chunk_indices,
+    extract_shared,
+    resolve_n_jobs,
+    resolve_shared,
+    sharing_is_worthwhile,
+)
 
 SWEEP_MODES = ("batched", "isolated")
 
@@ -160,10 +188,25 @@ class SweepRunner:
     warm_start:
         Disable the cross-fit warm-state handoff while keeping the other
         batched sharing (useful for ablation).
+    n_jobs:
+        Worker processes :meth:`run` fans independent fits out over
+        (``None`` = one per CPU, default 1 = serial).  Parallel execution
+        requires ``mode="batched"``: the whole point is shipping the
+        shared compile to each worker once.  Results are deterministic
+        and equal to the serial batched run at the contract tolerances —
+        specs are chunked contiguously and warm-start donors never cross
+        a chunk boundary — though ``warm_started`` donor *names* reflect
+        the per-chunk schedule.  :meth:`run_one` always runs in-process.
+    shared_memory:
+        How the large encoding/structure arrays reach the workers:
+        ``"auto"`` (default) uses ``multiprocessing.shared_memory`` when
+        the start method pickles worker state (``spawn``/``forkserver``)
+        and plain inheritance under ``fork``; ``True``/``False`` force
+        either transport.
 
     Example::
 
-        runner = SweepRunner(dataset)
+        runner = SweepRunner(dataset, n_jobs=4)
         fits = runner.run(
             FitSpec(name=f"td={f}", learner="em", train_truth=dataset.split(f, seed=0).train_truth)
             for f in (0.05, 0.1, 0.2, 0.4)
@@ -177,12 +220,23 @@ class SweepRunner:
         mode: str = "batched",
         backend: str = "vectorized",
         warm_start: bool = True,
+        n_jobs: Optional[int] = 1,
+        shared_memory: object = "auto",
     ) -> None:
         if mode not in SWEEP_MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {SWEEP_MODES}")
         check_backend(backend)
         if mode == "batched" and backend != "vectorized":
             raise ValueError('batched sweeps require backend="vectorized"')
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        if self.n_jobs > 1 and mode != "batched":
+            raise ValueError(
+                'parallel sweeps (n_jobs > 1) require mode="batched"; the '
+                "isolated path re-derives per-fit state and has nothing to ship"
+            )
+        if shared_memory not in ("auto", True, False):
+            raise ValueError('shared_memory must be "auto", True or False')
+        self.shared_memory = shared_memory
         self.dataset = dataset
         self.mode = mode
         self.backend = backend
@@ -279,7 +333,14 @@ class SweepRunner:
     # Running
     # ------------------------------------------------------------------
     def run(self, specs) -> List[SweepFitResult]:
-        """Run every spec in order, threading warm state through the sweep."""
+        """Run every spec, in order; fans out across processes when
+        ``n_jobs > 1`` (single-spec inputs stay in-process — there is
+        nothing to parallelize).  Serial runs thread warm state through
+        the whole sweep; parallel runs thread it through each contiguous
+        chunk."""
+        specs = list(specs)
+        if self.n_jobs > 1 and len(specs) > 1:
+            return self._run_parallel(specs)
         return [self.run_one(spec) for spec in specs]
 
     def run_one(self, spec: FitSpec) -> SweepFitResult:
@@ -478,6 +539,183 @@ class SweepRunner:
         prefix = "slimfast" if spec.use_features else "sources"
         suffix = learner_used if spec.learner != "auto" else "auto"
         return f"{prefix}-{suffix}"
+
+    # ------------------------------------------------------------------
+    # Cross-process execution
+    # ------------------------------------------------------------------
+    def _run_parallel(self, specs: List[FitSpec]) -> List[SweepFitResult]:
+        """Fan the specs out over worker processes, one compile for all.
+
+        The parent derives every shared artifact the sweep needs
+        (structures, label/clamp plans, design matrices, the cached
+        optimizer accuracy estimate) exactly as the serial path would,
+        exports it once, and hands each worker a contiguous chunk of
+        specs.  Results come back in spec order regardless of completion
+        order.
+        """
+        for spec in specs:
+            if spec.learner not in ("em", "erm", "auto"):
+                raise ValueError(f"unknown learner {spec.learner!r}")
+            structure = self._structure_for(tuple(spec.exclude_sources))
+            self._label_plan_for(structure, spec)
+            self._encoding.design(spec.use_features)
+        if any(spec.learner == "auto" for spec in specs):
+            self._average_accuracy()
+
+        payload, pack = self._export_payload()
+        chunks = chunk_indices(len(specs), min(self.n_jobs, len(specs)))
+        results: List[Optional[SweepFitResult]] = [None] * len(specs)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(chunks),
+                initializer=_init_sweep_worker,
+                initargs=(payload,),
+            ) as executor:
+                futures = [
+                    (chunk, executor.submit(_run_sweep_chunk, [specs[i] for i in chunk]))
+                    for chunk in chunks
+                ]
+                for chunk, future in futures:
+                    for i, fit in zip(chunk, future.result()):
+                        results[i] = fit
+        finally:
+            if pack is not None:
+                pack.release()
+        return results
+
+    def _export_payload(self) -> Tuple["_SweepPayload", Optional[SharedArrayPack]]:
+        """Bundle the shared compile for one-shot transfer to workers."""
+        share = self.shared_memory
+        if share == "auto":
+            share = sharing_is_worthwhile()
+        min_bytes = _parallel.SHARED_ARRAY_MIN_BYTES
+        pool: Dict[str, np.ndarray] = {}
+        state = self._encoding.export_state()
+
+        arrays = state["arrays"]
+        if share:
+            arrays = extract_shared(arrays, pool, "enc", min_bytes)
+        design_cache: Dict[bool, Tuple[object, object]] = {}
+        for key, (rows, space) in state["design_cache"].items():
+            entry: object = rows
+            if share and rows.nbytes >= min_bytes:
+                pool[f"design:{key}"] = rows
+                entry = SharedArrayRef(f"design:{key}")
+            design_cache[key] = (entry, space)
+        structures: Dict[Tuple[int, ...], Dict[str, object]] = {}
+        for key, structure in self._structures.items():
+            if not key:
+                continue  # workers re-wrap the full structure from the encoding
+            masked_state = {
+                f.name: getattr(structure, f.name)
+                for f in fields(PairStructure)
+                if f.name != "encoding"
+            }
+            if share:
+                masked_state = extract_shared(masked_state, pool, f"mask:{key}", min_bytes)
+            structures[key] = masked_state
+
+        payload = _SweepPayload(
+            dataset=self.dataset,  # pickles without its cached encoding
+            backend=self.backend,
+            warm_start=self.warm_start,
+            encoding_arrays=arrays,
+            encoding_pair_values=state["pair_values"],
+            design_cache=design_cache,
+            structures=structures,
+            label_plans=dict(self._label_plans),
+            avg_accuracy=self._avg_accuracy,
+        )
+        pack: Optional[SharedArrayPack] = None
+        if pool:
+            pack = SharedArrayPack(pool)
+            payload.shared = pack.descriptor
+        return payload, pack
+
+    @classmethod
+    def _from_payload(cls, payload: "_SweepPayload"):
+        """Worker-side rebuild: a batched runner with pre-seeded caches.
+
+        Returns ``(runner, segment)`` where ``segment`` is the attached
+        shared-memory handle (or ``None``) the worker must keep alive for
+        the runner's lifetime.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        segment = None
+        if payload.shared is not None:
+            arrays, segment = attach_shared_arrays(payload.shared)
+        dataset = payload.dataset
+        dataset._dense_encoding = DenseEncoding.from_state(
+            dataset,
+            {
+                "arrays": resolve_shared(payload.encoding_arrays, arrays),
+                "pair_values": payload.encoding_pair_values,
+                "design_cache": {
+                    key: (
+                        arrays[rows.key] if isinstance(rows, SharedArrayRef) else rows,
+                        space,
+                    )
+                    for key, (rows, space) in payload.design_cache.items()
+                },
+            },
+        )
+        runner = cls(
+            dataset,
+            mode="batched",
+            backend=payload.backend,
+            warm_start=payload.warm_start,
+        )
+        for key, state in payload.structures.items():
+            runner._structures[key] = PairStructure(**resolve_shared(state, arrays))
+        runner._structures[()] = build_pair_structure(dataset, backend=payload.backend)
+        runner._label_plans = dict(payload.label_plans)
+        runner._avg_accuracy = payload.avg_accuracy
+        return runner, segment
+
+
+@dataclass
+class _SweepPayload:
+    """Everything a sweep worker needs, shipped once per worker.
+
+    ``encoding_arrays`` / ``design_cache`` / ``structures`` may contain
+    :class:`~repro.experiments.parallel.SharedArrayRef` markers pointing
+    into the ``shared`` segment descriptor; everything else travels by
+    pickle (or copy-on-write inheritance under ``fork``).
+    """
+
+    dataset: FusionDataset
+    backend: str
+    warm_start: bool
+    encoding_arrays: Dict[str, object]
+    encoding_pair_values: List[Value]
+    design_cache: Dict[bool, Tuple[object, object]]
+    structures: Dict[Tuple[int, ...], Dict[str, object]]
+    label_plans: Dict[tuple, Tuple[np.ndarray, np.ndarray]]
+    avg_accuracy: Optional[float]
+    shared: Optional[dict] = None
+
+
+#: Per-worker runner (re)built once by the pool initializer, plus the
+#: shared-memory handle that must outlive it.
+_WORKER_RUNNER: Optional[SweepRunner] = None
+_WORKER_SEGMENT = None
+
+
+def _init_sweep_worker(payload: _SweepPayload) -> None:
+    global _WORKER_RUNNER, _WORKER_SEGMENT
+    _WORKER_RUNNER, _WORKER_SEGMENT = SweepRunner._from_payload(payload)
+
+
+def _run_sweep_chunk(specs: List[FitSpec]) -> List[SweepFitResult]:
+    """Run one contiguous chunk of specs in this worker, in order.
+
+    The warm registry is reset per chunk: donors are drawn only from the
+    chunk's own completed fits, so results depend on the deterministic
+    chunking, never on which worker ran which chunk or in what order.
+    """
+    runner = _WORKER_RUNNER
+    runner._warm_registry = []
+    return [runner.run_one(spec) for spec in specs]
 
 
 def leave_one_out_specs(

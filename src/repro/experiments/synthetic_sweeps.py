@@ -43,6 +43,7 @@ def _em_vs_erm(
     train_fraction: float,
     seeds: Sequence[int],
     erm_intercept: bool = False,
+    n_jobs: int = 1,
 ) -> Tuple[float, float]:
     """Seed-averaged (EM accuracy, ERM accuracy) for one configuration.
 
@@ -56,7 +57,9 @@ def _em_vs_erm(
     Each seed generates its own dataset, which is compiled once by a
     batched :class:`~repro.experiments.sweeps.SweepRunner`; the EM and ERM
     fits of that seed then share the encoding, candidate structure and
-    label/clamp plans instead of re-deriving them per fit.
+    label/clamp plans instead of re-deriving them per fit.  ``n_jobs``
+    forwards to the runner, parallelizing each seed's EM/ERM pair across
+    processes.
     """
     from .sweeps import FitSpec, SweepRunner
 
@@ -64,19 +67,27 @@ def _em_vs_erm(
     erm_scores: List[float] = []
     for seed in seeds:
         dataset = generate(config, seed=seed).dataset
-        split = dataset.split(train_fraction, seed=seed)
-        runner = SweepRunner(dataset, mode="batched")
-        for learner, scores in (("em", em_scores), ("erm", erm_scores)):
-            overrides = {"intercept": erm_intercept} if learner == "erm" else {}
-            fit = runner.run_one(
-                FitSpec(
-                    name=f"{learner}@seed={seed}",
-                    learner=learner,
-                    train_truth=split.train_truth,
-                    use_features=False,
-                    overrides=overrides,
-                )
+        # Sparse parameterizations can push the computed fraction to a
+        # degenerate boundary (figure4b clamps to 1.0 when the training-
+        # observation budget exceeds the instance; tiny fractions round to
+        # zero revealed objects, which ERM cannot fit).  split() rejects
+        # both, so clamp to the nearest non-degenerate reveal count — the
+        # same objects are revealed for every in-range fraction.
+        n_labeled = len(dataset.ground_truth)
+        n_train = min(max(int(round(train_fraction * n_labeled)), 1), n_labeled - 1)
+        split = dataset.split(n_train / n_labeled, seed=seed)
+        runner = SweepRunner(dataset, mode="batched", n_jobs=n_jobs)
+        specs = [
+            FitSpec(
+                name=f"{learner}@seed={seed}",
+                learner=learner,
+                train_truth=split.train_truth,
+                use_features=False,
+                overrides={"intercept": erm_intercept} if learner == "erm" else {},
             )
+            for learner in ("em", "erm")
+        ]
+        for fit, scores in zip(runner.run(specs), (em_scores, erm_scores)):
             accuracy = object_value_accuracy(
                 fit.result.values, dataset.ground_truth, split.test_objects
             )
@@ -92,6 +103,7 @@ def figure4a(
     n_objects: int = 1000,
     seeds: Sequence[int] = (0, 1, 2),
     erm_intercept: bool = False,
+    n_jobs: int = 1,
 ) -> List[SweepPoint]:
     """Figure 4(a): accuracy vs training-data fraction."""
     config = SyntheticConfig(
@@ -103,7 +115,7 @@ def figure4a(
     )
     points = []
     for fraction in train_fractions:
-        em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept)
+        em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept, n_jobs=n_jobs)
         points.append(SweepPoint(x=fraction, em_accuracy=em, erm_accuracy=erm))
     return points
 
@@ -116,6 +128,7 @@ def figure4b(
     n_objects: int = 1000,
     seeds: Sequence[int] = (0, 1, 2),
     erm_intercept: bool = False,
+    n_jobs: int = 1,
 ) -> List[SweepPoint]:
     """Figure 4(b): accuracy vs density at fixed ground-truth *observations*.
 
@@ -133,7 +146,7 @@ def figure4b(
         )
         observations_per_object = max(n_sources * density, 1.0)
         fraction = min(train_observations / observations_per_object / n_objects, 1.0)
-        em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept)
+        em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept, n_jobs=n_jobs)
         points.append(SweepPoint(x=density, em_accuracy=em, erm_accuracy=erm))
     return points
 
@@ -146,6 +159,7 @@ def figure4c(
     n_objects: int = 1000,
     seeds: Sequence[int] = (0, 1, 2),
     erm_intercept: bool = False,
+    n_jobs: int = 1,
 ) -> List[SweepPoint]:
     """Figure 4(c): accuracy vs average source accuracy."""
     points = []
@@ -157,7 +171,7 @@ def figure4c(
             avg_accuracy=avg_accuracy,
             name="fig4c",
         )
-        em, erm = _em_vs_erm(config, train_fraction, seeds, erm_intercept)
+        em, erm = _em_vs_erm(config, train_fraction, seeds, erm_intercept, n_jobs=n_jobs)
         points.append(SweepPoint(x=avg_accuracy, em_accuracy=em, erm_accuracy=erm))
     return points
 
@@ -183,6 +197,7 @@ def figure5_grid(
     seeds: Sequence[int] = (0, 1),
     tie_margin: float = 0.005,
     erm_intercept: bool = True,
+    n_jobs: int = 1,
 ) -> List[TradeoffCell]:
     """Figure 5: the EM/ERM winner over the tradeoff grid.
 
@@ -200,7 +215,7 @@ def figure5_grid(
                     avg_accuracy=accuracy,
                     name="fig5",
                 )
-                em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept)
+                em, erm = _em_vs_erm(config, fraction, seeds, erm_intercept, n_jobs=n_jobs)
                 if abs(em - erm) <= tie_margin:
                     winner = "-"
                 else:

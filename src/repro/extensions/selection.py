@@ -204,6 +204,7 @@ def leave_one_out_impacts(
     use_features: bool = True,
     mode: str = "batched",
     overrides: Optional[Mapping[str, object]] = None,
+    n_jobs: int = 1,
 ) -> List[LeaveOneOutImpact]:
     """Per-source fusion-accuracy impact via leave-one-source-out refits.
 
@@ -215,7 +216,9 @@ def leave_one_out_impacts(
     derived by array filtering rather than rebuilding a
     :func:`~repro.fusion.dataset.subset_sources` dataset per source;
     EM refits warm-start from the nearest prior fit.  ``mode="isolated"``
-    keeps the per-fit path (the equivalence tests pin both).
+    keeps the per-fit path (the equivalence tests pin both).  ``n_jobs``
+    fans the masked refits out across worker processes (``None`` = one
+    per CPU; batched mode only).
 
     Accuracy is measured on the objects with ground truth that every
     candidate's masked dataset still covers, so all impacts compare on the
@@ -224,7 +227,7 @@ def leave_one_out_impacts(
     from ..experiments.sweeps import FitSpec, SweepRunner, leave_one_out_specs
 
     pool = list(sources) if sources is not None else dataset.sources.items
-    runner = SweepRunner(dataset, mode=mode)
+    runner = SweepRunner(dataset, mode=mode, n_jobs=n_jobs)
     baseline_spec = FitSpec(
         name="baseline",
         learner=learner,

@@ -143,6 +143,22 @@ class FusionDataset:
         self._obs_by_source = [np.asarray(rows, dtype=np.int64) for rows in obs_by_source]
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the cached dense encoding.
+
+        The compiled :class:`~repro.fusion.encoding.DenseEncoding` is a
+        cache, not state: shipping it implicitly with every dataset pickle
+        would double the payload of cross-process transfers.  Callers that
+        want the compile shipped (the parallel sweep engine) export it
+        explicitly via ``DenseEncoding.export_state``.
+        """
+        state = dict(self.__dict__)
+        state.pop("_dense_encoding", None)
+        return state
+
+    # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     @property
@@ -222,8 +238,16 @@ class FusionDataset:
 
         This mirrors the paper's evaluation methodology (Section 5.1): splits
         are generated randomly per seed; objects whose truth is not revealed
-        form the test set.  ``train_fraction`` of 0 yields an empty training
-        set (the fully unsupervised regime).
+        form the test set.
+
+        Both sides of the split must be non-empty: a fraction of 0 (or one
+        that rounds to zero revealed objects) and a fraction of 1 (or one
+        that rounds to every object revealed) raise
+        :class:`~repro.fusion.types.DatasetError` (a ``ValueError``) —
+        degenerate splits used to crash much later, inside
+        ``EMLearner.fit`` warm starts or ``FusionResult.accuracy`` over an
+        empty test population.  For the fully unsupervised regime pass an
+        empty truth mapping to the learner directly instead of splitting.
         """
         if not 0.0 <= train_fraction <= 1.0:
             raise DatasetError(f"train_fraction must be in [0, 1], got {train_fraction}")
@@ -233,6 +257,19 @@ class FusionDataset:
         rng = np.random.default_rng(seed)
         order = rng.permutation(len(labeled))
         n_train = int(round(train_fraction * len(labeled)))
+        if n_train == 0:
+            raise DatasetError(
+                f"train_fraction {train_fraction} reveals no ground truth "
+                f"({len(labeled)} labeled objects); for the unsupervised "
+                "regime pass an empty truth mapping instead of splitting"
+            )
+        if n_train == len(labeled):
+            raise DatasetError(
+                f"train_fraction {train_fraction} reveals every labeled "
+                f"object ({len(labeled)} of {len(labeled)}), leaving no "
+                "evaluation side; lower the fraction or evaluate on the "
+                "training objects explicitly"
+            )
         train_ids = {labeled[i] for i in order[:n_train]}
         train_truth = {obj: self.ground_truth[obj] for obj in train_ids}
         test_objects = tuple(obj for obj in labeled if obj not in train_ids)

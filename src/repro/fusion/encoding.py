@@ -62,6 +62,20 @@ def check_backend(backend: str) -> str:
     return backend
 
 
+def frozen_copy(array: np.ndarray) -> np.ndarray:
+    """An owning, read-only copy of ``array``.
+
+    Used wherever live (still-mutating) buffers are exported as snapshot
+    views — the copy detaches the export from the source's lifecycle, and
+    the cleared ``writeable`` flag turns any later accidental in-place
+    mutation of the export into an immediate error instead of silent
+    corruption.
+    """
+    out = np.array(array)
+    out.setflags(write=False)
+    return out
+
+
 def expand_spans(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     """Concatenate ``arange(start, start + length)`` for each span, vectorized.
 
@@ -115,6 +129,24 @@ class DenseEncoding:
         Per candidate row, ``votes * log(|D_o| - 1)`` — the fixed score
         offset of :class:`~repro.core.structure.PairStructure`.
     """
+
+    #: Compiled index arrays, in materialization order; the unit of the
+    #: picklable :meth:`export_state` snapshot and of the incremental
+    #: encoding's lazily-materialized equivalent.
+    ARRAY_FIELDS = (
+        "obs_order",
+        "obs_offsets",
+        "obs_object_idx",
+        "obs_source_idx",
+        "obs_value_code",
+        "domain_sizes",
+        "pair_offsets",
+        "pair_object_idx",
+        "pair_value_code",
+        "obs_pair_idx",
+        "log_alternatives",
+        "base_scores",
+    )
 
     def __init__(self, dataset: FusionDataset) -> None:
         if dataset.n_observations == 0:
@@ -244,6 +276,41 @@ class DenseEncoding:
         claimed = codes >= 0
         rows[claimed] = self.pair_offsets[:-1][claimed] + codes[claimed]
         return rows
+
+    # ------------------------------------------------------------------
+    # Cross-process export
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Picklable snapshot of the one-time compile.
+
+        Bundles the index arrays (:attr:`ARRAY_FIELDS`), the materialized
+        candidate values and every cached design matrix, so a worker
+        process can rebuild the encoding with :meth:`from_state` instead of
+        paying the cold compile again.  The parallel sweep engine ships
+        this once per sweep (large arrays optionally through
+        ``multiprocessing.shared_memory``, see
+        :mod:`repro.experiments.parallel`).
+        """
+        return {
+            "arrays": {name: getattr(self, name) for name in self.ARRAY_FIELDS},
+            "pair_values": list(self.pair_values),
+            "design_cache": dict(self._design_cache),
+        }
+
+    @classmethod
+    def from_state(cls, dataset: FusionDataset, state: dict) -> "DenseEncoding":
+        """Rebuild an encoding from :meth:`export_state` output.
+
+        ``dataset`` must be the dataset the state was exported from (the
+        worker-side unpickled copy); no index arrays are recompiled.
+        """
+        dense = cls.__new__(cls)
+        dense.dataset = dataset
+        for name in cls.ARRAY_FIELDS:
+            setattr(dense, name, state["arrays"][name])
+        dense._pair_values = list(state["pair_values"])
+        dense._design_cache = dict(state["design_cache"])
+        return dense
 
 
 def encode_dataset(dataset: FusionDataset) -> DenseEncoding:
@@ -768,22 +835,39 @@ class IncrementalEncoding:
         return dataset
 
     def as_dense(self, dataset: FusionDataset) -> DenseEncoding:
-        """Fabricate a :class:`DenseEncoding` view over the snapshot arrays.
+        """Fabricate a :class:`DenseEncoding` from the snapshot arrays.
 
         ``dataset`` must be the materialized accumulated dataset (see
-        :meth:`to_dataset`); no index arrays are recompiled.
+        :meth:`to_dataset`); no index arrays are recompiled.  Every
+        exported array is a frozen (read-only) **copy**: the fabricated
+        encoding must stay a faithful snapshot of the stream at export
+        time, so it cannot alias the live snapshot/design buffers that
+        later ``append``/``design`` calls mutate or recycle (the aliasing
+        hazard is pinned in ``tests/test_incremental_encoding.py``).
         """
         snapshot = self._materialize()
         dense = DenseEncoding.__new__(DenseEncoding)
         dense.dataset = dataset
         for name, array in snapshot.items():
-            setattr(dense, name, array)
+            setattr(dense, name, frozen_copy(array))
         dense._pair_values = list(self.pair_values)
         dense._design_cache = {
-            key: (self.design(key)[0], self._design_cache[key][2])
+            key: (frozen_copy(self.design(key)[0]), self._design_cache[key][2])
             for key in self._design_cache
         }
         return dense
+
+    def dataset_view(self) -> "EncodingDatasetView":
+        """O(1) dataset-shaped facade over the live encoding state.
+
+        The container fast path for periodic batch re-fits: exposes the
+        sizes, indexers, domains and source features the vectorized
+        learners read when every derived artifact (structure, design,
+        label plans) is supplied explicitly — without the O(n)
+        ``observations()`` walk :meth:`to_dataset` pays.  See
+        :func:`repro.core.em.fit_incremental`.
+        """
+        return EncodingDatasetView(self)
 
     def rebuild(self) -> DenseEncoding:
         """Cold-recompile the accumulated dataset from scratch.
@@ -811,3 +895,61 @@ class IncrementalEncoding:
         }
         self._pair_values = fresh.pair_values
         return fresh
+
+
+class EncodingDatasetView:
+    """Read-only :class:`FusionDataset` facade over an incremental encoding.
+
+    Implements exactly the container surface the vectorized learners touch
+    when a prebuilt structure, design matrix and label plans are passed in:
+    the size properties, the source/object indexers, the per-object domain
+    lookup and the source-feature mapping.  Construction is O(1) — nothing
+    is walked or copied — which is what lets
+    :func:`repro.core.em.fit_incremental` re-fit over a growing stream
+    without materializing the accumulated observation list on every
+    re-anchor.
+
+    The view is *live*: it reads the encoding's current state, so it should
+    be consumed before the next append.  Anything needing the full
+    container (ground-truth bookkeeping, observation walks, reference
+    backends) should use :meth:`IncrementalEncoding.to_dataset` instead;
+    attribute errors on this view mean exactly that.
+    """
+
+    def __init__(self, encoding: IncrementalEncoding) -> None:
+        self._encoding = encoding
+        self.name = encoding.name
+
+    @property
+    def sources(self) -> Indexer[SourceId]:
+        return self._encoding.sources
+
+    @property
+    def objects(self) -> Indexer[ObjectId]:
+        return self._encoding.objects
+
+    @property
+    def source_features(self) -> Dict[SourceId, Dict[str, object]]:
+        return self._encoding.source_features
+
+    @property
+    def n_sources(self) -> int:
+        return self._encoding.n_sources
+
+    @property
+    def n_objects(self) -> int:
+        return self._encoding.n_objects
+
+    @property
+    def n_observations(self) -> int:
+        return self._encoding.n_observations
+
+    def domain_by_index(self, o_idx: int) -> Indexer[Value]:
+        """Domain indexer for the object with integer index ``o_idx``."""
+        return self._encoding.domain_by_index(o_idx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EncodingDatasetView(name={self.name!r}, sources={self.n_sources}, "
+            f"objects={self.n_objects}, observations={self.n_observations})"
+        )

@@ -131,8 +131,12 @@ class FusionError(Exception):
     """Base class for errors raised by the repro library."""
 
 
-class DatasetError(FusionError):
-    """Raised when a fusion dataset is malformed or inconsistent."""
+class DatasetError(FusionError, ValueError):
+    """Raised when a fusion dataset is malformed or inconsistent.
+
+    Also a :class:`ValueError`, so callers validating user-supplied
+    parameters (split fractions, budgets) can catch the standard type.
+    """
 
 
 class NotFittedError(FusionError):

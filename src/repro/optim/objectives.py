@@ -458,10 +458,18 @@ def _segment_log_softmax(
     Segments correspond to objects; rows of the same object are normalized
     together.  Implemented with bincount-based segment reductions so domains
     of arbitrary (ragged) sizes are supported without padding.
+
+    Segments whose every score is ``-inf`` (all candidate rows masked, e.g.
+    by an aggressive clamp plan) yield ``-inf`` log-probabilities instead
+    of the NaNs (and ``RuntimeWarning``) a raw max-shift would produce —
+    the tier-1 suite runs with ``RuntimeWarning`` promoted to an error.
     """
     seg_max = np.full(n_segments, -np.inf)
     np.maximum.at(seg_max, segment_idx, scores)
-    shifted = scores - seg_max[segment_idx]
+    # A non-finite segment max cannot be shifted out without producing
+    # inf - inf; empty/fully-masked segments keep their raw -inf scores.
+    shift = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    shifted = scores - shift[segment_idx]
     seg_sum = np.bincount(segment_idx, weights=np.exp(shifted), minlength=n_segments)
     log_norm = np.log(np.maximum(seg_sum, 1e-300))
     return shifted - log_norm[segment_idx]

@@ -146,12 +146,39 @@ class LBFGSMemory:
             alpha = rho * float(s_vec @ q)
             alphas.append(alpha)
             q -= alpha * y_vec
-        gamma = float(self.s[-1] @ self.y[-1]) / float(self.y[-1] @ self.y[-1])
-        q *= gamma
+        # push() guarantees positive curvature for pairs it stored, but a
+        # deserialized or hand-built memory may carry a degenerate last
+        # pair; fall back to the identity scaling rather than divide by 0.
+        denominator = float(self.y[-1] @ self.y[-1])
+        if denominator > 0.0:
+            q *= float(self.s[-1] @ self.y[-1]) / denominator
         for s_vec, y_vec, rho, alpha in zip(self.s, self.y, self.rho, reversed(alphas)):
             beta = rho * float(y_vec @ q)
             q += (alpha - beta) * s_vec
         return q
+
+    # ------------------------------------------------------------------
+    # Serialization (compact pickling for cross-process/cross-run reuse)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Stack the curvature pairs into dense arrays for pickling.
+
+        The list-of-vectors layout pickles as one object per vector; the
+        stacked form is a single buffer per component, which matters when a
+        sweep ships many warm states between processes.
+        """
+        return {
+            "max_pairs": self.max_pairs,
+            "s": np.stack(self.s) if self.s else np.zeros((0, 0)),
+            "y": np.stack(self.y) if self.y else np.zeros((0, 0)),
+            "rho": np.asarray(self.rho, dtype=float),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.max_pairs = int(state["max_pairs"])
+        self.s = [np.array(row) for row in state["s"]]
+        self.y = [np.array(row) for row in state["y"]]
+        self.rho = [float(r) for r in state["rho"]]
 
 
 @dataclass
@@ -174,6 +201,29 @@ class WarmStartState:
     def compatible_with(self, n_params: int) -> bool:
         """Whether the stored vector matches an objective's dimensionality."""
         return self.w.shape[0] == n_params
+
+    def to_state(self) -> dict:
+        """Plain-array state dict for explicit serialization.
+
+        Everything is a NumPy array or a scalar (the
+        :class:`LBFGSMemory` pairs are stacked), so the dict survives
+        pickling, ``np.savez`` archives and cross-process shipping without
+        dragging solver classes along.  Round-trips through
+        :meth:`from_state`.
+        """
+        state = {"w": np.asarray(self.w, dtype=float)}
+        if self.memory is not None:
+            state["memory"] = self.memory.__getstate__()
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WarmStartState":
+        """Rebuild a warm-start state from :meth:`to_state` output."""
+        memory = None
+        if "memory" in state:
+            memory = LBFGSMemory.__new__(LBFGSMemory)
+            memory.__setstate__(state["memory"])
+        return cls(w=np.asarray(state["w"], dtype=float), memory=memory)
 
 
 def minimize_lbfgs_warm(

@@ -83,3 +83,16 @@ class TestPredictUnseen:
         assert predictions["new-source"] == pytest.approx(
             model.predict_accuracy(features["new-source"])
         )
+
+
+class TestBoundaryTrainFractions:
+    def test_fractions_rounding_to_boundaries_still_run(self, feature_instance):
+        # Only the train side of the reveal is consumed (evaluation is on
+        # held-out sources), so fractions rounding to all — or zero —
+        # labeled objects must not trip split()'s degenerate-split guard.
+        for fraction in (0.999, 1.0, 0.0001):
+            report = evaluate_initialization(
+                feature_instance.dataset, fraction_used=0.5, seed=0, train_fraction=fraction
+            )
+            for value in report.predictions.values():
+                assert 0.0 <= value <= 1.0

@@ -89,8 +89,11 @@ class TestDecide:
         """More ground truth can only move the decision toward ERM."""
         seen_erm = False
         for fraction in (0.02, 0.2, 0.6, 1.0):
-            split = small_dataset.split(fraction, seed=0)
-            decision = decide(small_dataset, split.train_truth, n_features=4, tau=0.0)
+            if fraction < 1.0:
+                truth = small_dataset.split(fraction, seed=0).train_truth
+            else:
+                truth = small_dataset.ground_truth
+            decision = decide(small_dataset, truth, n_features=4, tau=0.0)
             if decision.algorithm == "erm":
                 seen_erm = True
             else:

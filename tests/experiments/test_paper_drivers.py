@@ -90,6 +90,23 @@ class TestFigureDrivers:
             assert 0.0 <= point.em_accuracy <= 1.0
             assert point.winner in ("em", "erm", "tie")
 
+    def test_figure4b_boundary_fraction_clamped(self):
+        # A training-observation budget larger than the instance drives
+        # figure4b's computed fraction to its 1.0 clamp; the driver must
+        # pull it back to a valid split instead of crashing now that
+        # split() rejects degenerate fractions.
+        from repro.experiments import figure4b
+
+        points = figure4b(
+            densities=(0.05,),
+            n_sources=20,
+            n_objects=15,
+            train_observations=400,
+            seeds=(0,),
+        )
+        assert len(points) == 1
+        assert 0.0 <= points[0].em_accuracy <= 1.0
+
     def test_figure5_grid_cells(self):
         cells = figure5_grid(
             train_fractions=(0.05,),

@@ -385,3 +385,196 @@ class TestRunnerBehaviour:
     def test_harness_sweep_rejects_unknown_mode(self, dataset):
         with pytest.raises(ValueError, match="unknown mode"):
             sweep(dataset, ["majority"], (0.2,), seeds=(0,), mode="Batched")
+
+
+class TestParallelExecution:
+    """Cross-process determinism contract of ``SweepRunner(n_jobs=...)``.
+
+    A sweep run with ``n_jobs=1``, ``n_jobs=4`` and the serial batched
+    path must produce equal ``SweepFitResult`` objectives/accuracies at
+    the contract tolerances, including the leave-one-out masked-structure
+    path — and the parallel results must not depend on worker scheduling
+    (chunking is deterministic, warm donors never cross chunks).
+    """
+
+    def _mixed_specs(self, dataset):
+        em = _em_specs(dataset, fractions=(0.1, 0.25, 0.4))
+        erm = [
+            FitSpec(
+                name="erm@0.3",
+                learner="erm",
+                train_truth=dataset.split(0.3, seed=2).train_truth,
+            )
+        ]
+        auto = [
+            FitSpec(
+                name="auto@0.2",
+                learner="auto",
+                train_truth=dataset.split(0.2, seed=5).train_truth,
+                overrides=TIGHT,
+            )
+        ]
+        return em + erm + auto
+
+    def test_n_jobs_matches_serial_batched(self, dataset):
+        specs = self._mixed_specs(dataset)
+        serial = SweepRunner(dataset, mode="batched").run(specs)
+        one = SweepRunner(dataset, mode="batched", n_jobs=1).run(specs)
+        four = SweepRunner(dataset, mode="batched", n_jobs=4).run(specs)
+        _assert_fits_match(serial, one)
+        _assert_fits_match(serial, four)
+        for s, p in zip(serial, four):
+            assert s.learner_used == p.learner_used
+            assert s.result.method == p.result.method
+
+    def test_parallel_runs_are_reproducible(self, dataset):
+        specs = _em_specs(dataset, fractions=(0.1, 0.2, 0.3, 0.4))
+        first = SweepRunner(dataset, mode="batched", n_jobs=3).run(specs)
+        second = SweepRunner(dataset, mode="batched", n_jobs=3).run(specs)
+        for a, b in zip(first, second):
+            assert a.objective_value == b.objective_value
+            np.testing.assert_array_equal(a.model.accuracies(), b.model.accuracies())
+            assert a.warm_started == b.warm_started
+
+    def test_leave_one_out_masked_path(self, dataset):
+        truth = dataset.split(0.2, seed=0).train_truth
+        specs = leave_one_out_specs(
+            dataset,
+            truth,
+            sources=dataset.sources.items[:4],
+            overrides={"max_iterations": 5, "solver": "lbfgs-warm", **TIGHT},
+        )
+        serial = SweepRunner(dataset, mode="batched").run(specs)
+        parallel = SweepRunner(dataset, mode="batched", n_jobs=4).run(specs)
+        _assert_fits_match(serial, parallel)
+
+    def test_forced_shared_memory_transport(self, dataset, monkeypatch):
+        import repro.experiments.parallel as parallel_module
+
+        # Force every array through the shared segment regardless of size,
+        # exercising pack/attach on platforms where fork would otherwise
+        # bypass it.
+        monkeypatch.setattr(parallel_module, "SHARED_ARRAY_MIN_BYTES", 1)
+        specs = _em_specs(dataset, fractions=(0.1, 0.3)) + leave_one_out_specs(
+            dataset,
+            dataset.split(0.2, seed=0).train_truth,
+            sources=dataset.sources.items[:1],
+            overrides={"max_iterations": 4, **TIGHT},
+        )
+        serial = SweepRunner(dataset, mode="batched").run(specs)
+        shm = SweepRunner(dataset, mode="batched", n_jobs=2, shared_memory=True).run(specs)
+        _assert_fits_match(serial, shm)
+
+    def test_single_spec_stays_in_process(self, dataset):
+        runner = SweepRunner(dataset, mode="batched", n_jobs=4)
+        spec = FitSpec(
+            name="solo",
+            learner="em",
+            train_truth=dataset.split(0.2, seed=0).train_truth,
+            overrides={"max_iterations": 3, **TIGHT},
+        )
+        fits = runner.run([spec])  # no pool for one fit
+        reference = SweepRunner(dataset, mode="batched").run([spec])
+        _assert_fits_match(fits, reference)
+
+    def test_harness_sweep_n_jobs_agrees(self, dataset):
+        from repro.experiments import sweep
+
+        methods = ["sources-erm", "slimfast-em"]
+        serial = sweep(dataset, methods, (0.2, 0.4), seeds=(0,), n_jobs=1)
+        parallel = sweep(dataset, methods, (0.2, 0.4), seeds=(0,), n_jobs=2)
+        for s, p in zip(serial, parallel):
+            assert s.method == p.method and s.seed == p.seed
+            assert s.object_accuracy == pytest.approx(p.object_accuracy, abs=1e-6)
+            assert s.source_error == pytest.approx(p.source_error, abs=1e-6, nan_ok=True)
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError, match='mode="batched"'):
+            SweepRunner(dataset, mode="isolated", n_jobs=2)
+        with pytest.raises(ValueError, match="positive integer"):
+            SweepRunner(dataset, n_jobs=0)
+        with pytest.raises(ValueError, match="shared_memory"):
+            SweepRunner(dataset, shared_memory="always")
+        with pytest.raises(ValueError, match="unknown learner"):
+            SweepRunner(dataset, n_jobs=2).run(
+                [FitSpec(name="a", learner="gibbs"), FitSpec(name="b", learner="gibbs")]
+            )
+
+    def test_n_jobs_none_resolves_to_cpu_count(self, dataset):
+        import os
+
+        runner = SweepRunner(dataset, n_jobs=None)
+        assert runner.n_jobs == max(os.cpu_count() or 1, 1)
+
+
+class TestParallelHelpers:
+    def test_chunk_indices_contiguous_and_balanced(self):
+        from repro.experiments.parallel import chunk_indices
+
+        chunks = chunk_indices(10, 4)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(10))
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        # Deterministic: same inputs, same chunking.
+        assert chunks == chunk_indices(10, 4)
+        # More chunks than items collapses to one item per chunk.
+        assert [len(c) for c in chunk_indices(2, 8)] == [1, 1]
+        assert chunk_indices(0, 3) == []
+
+    def test_shared_array_pack_round_trip(self):
+        from repro.experiments.parallel import SharedArrayPack, attach_shared_arrays
+
+        arrays = {
+            "a": np.arange(7, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 5),
+            "c": np.zeros((3, 2), dtype=np.float32),
+        }
+        pack = SharedArrayPack(arrays)
+        try:
+            attached, segment = attach_shared_arrays(pack.descriptor)
+            for key, array in arrays.items():
+                np.testing.assert_array_equal(attached[key], array)
+                assert not attached[key].flags.writeable
+            segment.close()
+        finally:
+            pack.release()
+            pack.release()  # idempotent
+
+    def test_registry_state_round_trips_through_pickle(self, dataset):
+        import pickle
+
+        specs = _em_specs(dataset, fractions=(0.1,))
+        runner = SweepRunner(dataset, mode="batched")
+        runner.run(specs)
+        state = runner._warm_registry[-1][-1]
+        revived = pickle.loads(pickle.dumps(state))
+        np.testing.assert_array_equal(revived.w, state.w)
+        assert (revived.memory is None) == (state.memory is None)
+
+    def test_warm_start_state_round_trip(self):
+        import pickle
+
+        from repro.optim.solvers import LBFGSMemory, WarmStartState
+
+        rng = np.random.default_rng(0)
+        memory = LBFGSMemory(max_pairs=5)
+        for _ in range(3):
+            s_vec = rng.normal(size=6)
+            memory.push(s_vec, s_vec + 0.1 * rng.normal(size=6))
+        assert memory.s
+        state = WarmStartState(w=rng.normal(size=6), memory=memory)
+
+        revived = WarmStartState.from_state(state.to_state())
+        np.testing.assert_array_equal(revived.w, state.w)
+        assert len(revived.memory.s) == len(state.memory.s)
+        for a, b in zip(revived.memory.s, state.memory.s):
+            np.testing.assert_array_equal(a, b)
+
+        pickled = pickle.loads(pickle.dumps(state))
+        np.testing.assert_array_equal(pickled.w, state.w)
+        assert pickled.memory.rho == state.memory.rho
+        # A deserialized memory still produces descent directions.
+        grad = np.ones_like(state.w)
+        direction = pickled.memory.direction(grad)
+        assert float(grad @ direction) < 0

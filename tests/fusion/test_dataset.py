@@ -105,15 +105,43 @@ class TestSplit:
         b = small_dataset.split(0.3, seed=1)
         assert a.train_truth != b.train_truth
 
-    def test_zero_fraction(self, small_dataset):
-        split = small_dataset.split(0.0, seed=0)
-        assert split.train_truth == {}
-        assert len(split.test_objects) == small_dataset.n_objects
+    def test_zero_fraction_rejected(self, small_dataset):
+        # The degenerate "no training side" split used to be produced
+        # silently and crash much later (empty ERM warm starts); now it is
+        # rejected up front with a pointer to the unsupervised spelling.
+        with pytest.raises(DatasetError, match="reveals no ground truth"):
+            small_dataset.split(0.0, seed=0)
 
-    def test_full_fraction(self, small_dataset):
-        split = small_dataset.split(1.0, seed=0)
-        assert len(split.train_truth) == small_dataset.n_objects
-        assert split.test_objects == ()
+    def test_full_fraction_rejected(self, small_dataset):
+        with pytest.raises(DatasetError, match="leaving no evaluation side"):
+            small_dataset.split(1.0, seed=0)
+
+    def test_fraction_rounding_to_empty_train_rejected(self, small_dataset):
+        # Small positive fractions that round to zero revealed objects are
+        # the same degenerate split as 0.0 and must raise too.
+        fraction = 0.4 / len(small_dataset.ground_truth)
+        with pytest.raises(DatasetError, match="reveals no ground truth"):
+            small_dataset.split(fraction, seed=0)
+
+    def test_fraction_rounding_to_empty_eval_rejected(self, small_dataset):
+        n = len(small_dataset.ground_truth)
+        with pytest.raises(DatasetError, match="evaluation side"):
+            small_dataset.split((n - 0.4) / n, seed=0)
+
+    def test_boundary_errors_are_value_errors(self, small_dataset):
+        # DatasetError doubles as ValueError so generic parameter
+        # validation in callers keeps working.
+        with pytest.raises(ValueError):
+            small_dataset.split(0.0)
+        with pytest.raises(ValueError):
+            small_dataset.split(1.0)
+
+    def test_near_boundary_fractions_still_split(self, small_dataset):
+        n = len(small_dataset.ground_truth)
+        split = small_dataset.split(1.4 / n, seed=0)
+        assert len(split.train_truth) == 1
+        split = small_dataset.split((n - 0.6) / n, seed=0)
+        assert len(split.test_objects) == 1
 
     def test_invalid_fraction_rejected(self, small_dataset):
         with pytest.raises(DatasetError):

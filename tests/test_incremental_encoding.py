@@ -160,9 +160,12 @@ class TestIncrementalEquivalence:
         assert rebuilt.observations == dataset.observations
         assert rebuilt.ground_truth == dataset.ground_truth
         attached = encode_dataset(rebuilt)
-        # The attached encoding is the fabricated snapshot view, not a
-        # recompile — its arrays are the incremental arrays themselves.
-        assert attached.obs_pair_idx is incremental.obs_pair_idx
+        # The attached encoding is fabricated from the snapshot, not a
+        # recompile — equal arrays, but frozen *copies* so later appends
+        # to the incremental encoding cannot reach the export (see
+        # TestAsDenseAliasing).
+        assert attached.obs_pair_idx is not incremental.obs_pair_idx
+        np.testing.assert_array_equal(attached.obs_pair_idx, incremental.obs_pair_idx)
         np.testing.assert_array_equal(attached.base_scores, DenseEncoding(rebuilt).base_scores)
 
     def test_rebuild_escape_hatch(self, dataset):
@@ -394,3 +397,123 @@ class TestFitIncremental:
             incremental, truth=truth, warm_state=learner.warm_state_, max_iterations=6
         )
         np.testing.assert_allclose(seeded_model.accuracies(), cold_model.accuracies(), atol=1e-6)
+
+
+class TestAsDenseAliasing:
+    """The exported dense view must be a frozen snapshot, not a live alias.
+
+    Before the fix, ``as_dense`` handed out the *live* snapshot arrays and
+    ``_design_cache`` row stores: a later ``append``/``_materialize`` (or a
+    design-cache growth) could mutate or invalidate a previously exported
+    view.  The export is now a read-only copy, pinned here.
+    """
+
+    def test_export_is_stable_across_later_appends(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        incremental.design(True)  # warm the cache so the export carries it
+        exported_dataset = incremental.to_dataset()
+        dense = exported_dataset._dense_encoding
+        expected = encode_dataset(FusionDataset(dataset.observations))
+        before = {name: getattr(dense, name).copy() for name in ARRAY_NAMES}
+        design_before = dense.design(True)[0].copy()
+
+        # Keep appending (new objects, new sources, repeat claims on old
+        # objects) and re-materializing; the exported view must not move.
+        incremental.append([("fresh-source", "fresh-object", "v")])
+        incremental._materialize()
+        incremental.append(
+            [("fresh-source", obj, dataset.domain(obj)[0]) for obj in dataset.objects.items[:5]]
+        )
+        incremental._materialize()
+        incremental.design(True)
+
+        for name in ARRAY_NAMES:
+            np.testing.assert_array_equal(getattr(dense, name), before[name], err_msg=name)
+            np.testing.assert_array_equal(
+                getattr(dense, name), getattr(expected, name), err_msg=name
+            )
+        np.testing.assert_array_equal(dense.design(True)[0], design_before)
+
+    def test_export_does_not_alias_live_buffers(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        incremental.design(True)
+        incremental.design(False)
+        dense = incremental.as_dense(incremental.to_dataset(attach_encoding=False))
+        snapshot = incremental._materialize()
+        for name in ARRAY_NAMES:
+            exported = getattr(dense, name)
+            assert exported is not snapshot[name], name
+            assert not np.shares_memory(exported, snapshot[name]), name
+        for key, (rows, _n_encoded, _space) in incremental._design_cache.items():
+            assert not np.shares_memory(dense.design(key)[0], rows), key
+
+    def test_exported_arrays_are_read_only(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        dense = incremental.to_dataset()._dense_encoding
+        for name in ARRAY_NAMES + ["base_scores", "log_alternatives"]:
+            array = getattr(dense, name)
+            assert not array.flags.writeable, name
+            with pytest.raises(ValueError):
+                array[...] = 0
+
+    def test_frozen_export_still_fits(self, dataset):
+        # The read-only arrays must be transparent to the learners.
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        exported = incremental.to_dataset(ground_truth=dataset.ground_truth)
+        truth = exported.split(0.3, seed=0).train_truth
+        model = EMLearner(EMConfig(max_iterations=3)).fit(exported, truth)
+        reference = EMLearner(EMConfig(max_iterations=3)).fit(dataset, truth)
+        np.testing.assert_allclose(model.accuracies(), reference.accuracies(), atol=1e-10)
+
+
+class TestDatasetViewFastPath:
+    """fit_incremental's container fast path (no observations() walk)."""
+
+    def test_view_matches_walking_path_exactly(self, dataset):
+        truth = dataset.split(0.3, seed=2).train_truth
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        fast_model, fast_learner = fit_incremental(
+            incremental, truth=truth, max_iterations=5
+        )
+        walk_model, walk_learner = fit_incremental(
+            incremental, truth=truth, max_iterations=5, materialize_dataset=True
+        )
+        # Same arrays, same operations: the two container routes must be
+        # bit-identical, not merely close.
+        np.testing.assert_array_equal(fast_model.accuracies(), walk_model.accuracies())
+        np.testing.assert_array_equal(fast_model.w_sources, walk_model.w_sources)
+        np.testing.assert_array_equal(fast_model.w_features, walk_model.w_features)
+        assert fast_model.source_ids == walk_model.source_ids
+        assert fast_learner.trace_.n_iterations == walk_learner.trace_.n_iterations
+
+    def test_view_is_o1_and_live(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        view = incremental.dataset_view()
+        assert view.n_observations == dataset.n_observations
+        incremental.append([("late-source", "late-object", "v")])
+        assert view.n_observations == dataset.n_observations + 1
+        assert view.sources is incremental.sources
+        assert view.domain_by_index(view.n_objects - 1).items == ["v"]
+
+    def test_streaming_refit_uses_fast_path(self, dataset):
+        # A periodic re-fit must not materialize the observation list.
+        fuser = StreamingFuser(refit_every=60, refit_overrides={"max_iterations": 2})
+        walked = []
+        original = IncrementalEncoding.observations
+
+        def _spy(self):
+            walked.append(True)
+            return original(self)
+
+        IncrementalEncoding.observations = _spy
+        try:
+            fuser.run(dataset.observations, truth=dataset.split(0.3, seed=0).train_truth)
+        finally:
+            IncrementalEncoding.observations = original
+        assert fuser.n_refits > 0
+        assert not walked
+
+    def test_rejects_reference_backend(self, dataset):
+        incremental = IncrementalEncoding.from_dataset(dataset)
+        with pytest.raises(ValueError, match="vectorized"):
+            fit_incremental(incremental, backend="reference")

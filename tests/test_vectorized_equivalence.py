@@ -86,6 +86,8 @@ def dataset(request):
 def _truth_fraction(dataset, fraction, seed=0):
     if fraction == 0.0:
         return {}
+    if fraction == 1.0:
+        return dict(dataset.ground_truth)
     split = dataset.split(fraction, seed=seed)
     return split.train_truth
 
