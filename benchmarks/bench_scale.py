@@ -1,0 +1,251 @@
+"""Out-of-core scale benchmark: the ragged posterior store at ~1M observations.
+
+Builds a deliberately *skewed* workload — one hub object whose candidate
+domain is tens of thousands of values wide, plus a long tail of narrow
+objects — where the retired dense ``(n_objects, max_domain)`` posterior
+matrix would cost ``n_objects * max_domain`` cells (tens of GiB at full
+scale) while the ragged :class:`repro.fusion.posterior_store.PosteriorStore`
+holds one row per *candidate* (a few MiB).  The case:
+
+* fits semi-supervised EM end to end under the ragged store, sharded
+  (``EMConfig.n_shards``) so no step ever touches a dense matrix;
+* asserts the shard-count invariance contract in-case (``n_shards=1`` vs
+  ``n_shards=4``: value codes bit-identical, posterior probabilities and
+  source accuracies within ``atol=1e-10``);
+* demonstrates that the dense path *cannot* run: projected dense cells
+  exceed ``DENSE_MAX_CELLS`` and ``posterior_matrix`` materialization is
+  refused with ``MemoryError``;
+* records wall time, process peak RSS, and the ragged-vs-dense memory
+  footprint in a ``BENCH_scale.json`` artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # smoke (~240k obs)
+    PYTHONPATH=src python benchmarks/bench_scale.py --full     # scale_1m (~1M obs)
+
+``REPRO_BENCH_SCALE=full`` (the ``run_all.py --full`` convention) also
+selects the full size.  Exits nonzero when any contract assertion fails,
+so the nightly workflow gates on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_scale.json"
+
+#: Shard-count invariance tolerance (the cross-shard reduce reorders
+#: float additions; everything else is bit-identical — see
+#: ``repro/fusion/sharding.py``).
+PROB_ATOL = 1e-10
+
+SIZES = {
+    # A (source, object) pair may claim at most once, so the hub's domain
+    # width equals the source count: every source contributes one distinct
+    # hub value.  dense cells = (n_tail + 1) * hub_domain.
+    "smoke": dict(n_tail=45_000, hub_domain=5_000, obs_per_tail=3),
+    "scale_1m": dict(n_tail=245_000, hub_domain=10_000, obs_per_tail=4),
+}
+
+
+def _peak_rss_kb():
+    """Process peak RSS in KiB, or ``None`` where ``resource`` is absent."""
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes on macOS, KiB on Linux
+        peak //= 1024
+    return int(peak)
+
+
+def build_skewed_dataset(n_tail: int, hub_domain: int, obs_per_tail: int):
+    """Hub-and-tail fusion workload with one very wide candidate domain.
+
+    The hub object receives one *distinct* claim from every source (a
+    source may claim an object at most once, so its candidate row count
+    is ``hub_domain == n_sources``); each tail object receives
+    ``obs_per_tail`` claims from distinct sources, drawn from a 3-value
+    candidate pool with source accuracy around 0.7.  Deterministic in
+    its arguments.
+    """
+    import numpy as np
+
+    from repro.fusion import FusionDataset
+
+    rng = np.random.default_rng(11)
+    n_sources = hub_domain
+    sources = [f"s{i}" for i in range(n_sources)]
+    observations = [(sources[v], "hub", f"hub-v{v}") for v in range(hub_domain)]
+    truth = {"hub": "hub-v0"}
+
+    # Distinct sources per tail object without per-object sampling loops:
+    # a random base source plus a fixed stride of consecutive offsets.
+    base_source = rng.integers(0, n_sources, size=n_tail)
+    tail_truth_codes = rng.integers(0, 3, size=n_tail)
+    correct = rng.random((n_tail, obs_per_tail)) < 0.7
+    noise = rng.integers(0, 3, size=(n_tail, obs_per_tail))
+    for o in range(n_tail):
+        obj = f"o{o}"
+        truth[obj] = f"v{tail_truth_codes[o]}"
+        for j in range(obs_per_tail):
+            code = tail_truth_codes[o] if correct[o, j] else noise[o, j]
+            source = sources[(base_source[o] + j) % n_sources]
+            observations.append((source, obj, f"v{code}"))
+    return FusionDataset(observations, ground_truth=truth)
+
+
+def run_case(full: bool, output: Path) -> int:
+    import numpy as np
+
+    from repro.core.em import EMConfig
+    from repro.core.slimfast import SLiMFast
+    from repro.fusion.posterior_store import DENSE_MAX_CELLS
+
+    name = "scale_1m" if full else "smoke"
+    size = SIZES[name]
+    print(f"building {name} workload {size} ...", file=sys.stderr)
+    started = time.perf_counter()
+    dataset = build_skewed_dataset(**size)
+    build_seconds = time.perf_counter() - started
+    train = dataset.split(0.10, seed=0).train_truth
+    print(
+        f"dataset: {dataset.n_sources} sources, {dataset.n_objects} objects, "
+        f"{dataset.n_observations} observations ({build_seconds:.1f}s)",
+        file=sys.stderr,
+    )
+
+    failures = []
+    fits = {}
+    results = {}
+    for n_shards in (1, 4):
+        started = time.perf_counter()
+        model = SLiMFast(
+            em_config=EMConfig(
+                solver="lbfgs-warm",
+                max_iterations=3,
+                tolerance=0.0,
+                n_shards=n_shards,
+            )
+        )
+        result = model.fit(dataset, train).predict()
+        seconds = time.perf_counter() - started
+        fits[n_shards] = {"seconds": seconds, "peak_rss_kb": _peak_rss_kb()}
+        results[n_shards] = (result, model.model_.accuracies())
+        print(f"n_shards={n_shards}: fit+predict {seconds:.1f}s", file=sys.stderr)
+
+    # Shard-count invariance, asserted at the equivalence contract.
+    result_1, acc_1 = results[1]
+    result_4, acc_4 = results[4]
+    store_1 = result_1.posterior_store
+    store_4 = result_4.posterior_store
+    codes_identical = bool(np.array_equal(store_1.value_codes, store_4.value_codes))
+    prob_delta = float(np.max(np.abs(store_1.probs - store_4.probs), initial=0.0))
+    acc_delta = float(np.max(np.abs(acc_1 - acc_4), initial=0.0))
+    if not codes_identical:
+        failures.append("shard invariance: value codes differ between n_shards=1 and 4")
+    if prob_delta > PROB_ATOL:
+        failures.append(f"shard invariance: prob delta {prob_delta:.2e} > {PROB_ATOL:.0e}")
+    if acc_delta > PROB_ATOL:
+        failures.append(f"shard invariance: accuracy delta {acc_delta:.2e} > {PROB_ATOL:.0e}")
+
+    # The dense posterior matrix must be impossible here: the projection
+    # overflows the materialization guard, and the store refuses it.
+    dense_cells = store_1.dense_cells()
+    dense_refused = False
+    try:
+        result_1.posterior_matrix
+    except MemoryError:
+        dense_refused = True
+    if dense_cells <= DENSE_MAX_CELLS:
+        failures.append(
+            f"workload too small: projected dense cells {dense_cells:,} fit under "
+            f"DENSE_MAX_CELLS={DENSE_MAX_CELLS:,}; the case no longer exercises "
+            "the out-of-core path"
+        )
+    if not dense_refused:
+        failures.append("dense materialization was not refused")
+
+    ragged_mib = store_1.nbytes / 2**20
+    dense_mib = store_1.dense_nbytes() / 2**20
+    print(
+        f"ragged store {ragged_mib:.1f} MiB vs projected dense {dense_mib:.0f} MiB "
+        f"({dense_cells:,} cells); dense refused: {dense_refused}; "
+        f"codes identical: {codes_identical}; prob delta {prob_delta:.1e}",
+        file=sys.stderr,
+    )
+
+    report = {
+        "benchmark": "scale",
+        "case": name,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "dataset": {
+            "n_sources": dataset.n_sources,
+            "n_objects": dataset.n_objects,
+            "n_observations": dataset.n_observations,
+            "max_domain": int(store_1.max_domain),
+            "build_seconds": build_seconds,
+        },
+        "store": {
+            "n_rows": int(store_1.n_rows),
+            "ragged_bytes": int(store_1.nbytes),
+            "projected_dense_bytes": int(store_1.dense_nbytes()),
+            "projected_dense_cells": int(dense_cells),
+            "dense_refused": dense_refused,
+        },
+        "fits": {f"n_shards={k}": v for k, v in fits.items()},
+        "invariance": {
+            "codes_identical": codes_identical,
+            "max_prob_delta": prob_delta,
+            "max_accuracy_delta": acc_delta,
+            "atol": PROB_ATOL,
+        },
+        "failures": failures,
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+
+    if failures:
+        print("SCALE BENCH FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="scale_1m size (~1M observations; default is a CI-sized smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON artifact (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    full = args.full or os.environ.get("REPRO_BENCH_SCALE") == "full"
+    return run_case(full, args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

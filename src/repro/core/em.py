@@ -102,6 +102,25 @@ class EMConfig:
         ``"vectorized"`` (default) runs the E-step clamp and the M-step
         sufficient statistics as array reductions over the dataset's dense
         encoding; ``"reference"`` keeps the original per-object loops.
+    n_shards:
+        When set, every E-step runs shard-by-shard over contiguous object
+        ranges (:mod:`repro.fusion.sharding`): each shard computes partial
+        per-source sufficient statistics and the M-step reduces them —
+        peak E-step memory is bounded by the largest shard instead of the
+        whole structure.  **Equivalence contract:** value codes are
+        bit-identical to the unsharded fit and probabilities/accuracies
+        agree at ``atol=1e-10`` for any shard count (only the cross-shard
+        float reduce reorders additions; pinned in
+        ``tests/fusion/test_posterior_store.py``).  Requires the
+        vectorized backend and a statistics-reducing solver (not
+        ``"sgd"``).
+    shard_jobs:
+        Process fan-out for the shard E-steps *within one fit* (requires
+        ``n_shards``): values above 1 evaluate shards on a
+        :class:`repro.experiments.parallel.ShardStatPool` built once per
+        fit; ``None``/1 keeps the serial in-process loop.  The reduction
+        order is fixed (ascending shard index), so the fit is identical
+        either way.
     """
 
     max_iterations: int = 50
@@ -116,6 +135,8 @@ class EMConfig:
     sgd_epochs: int = 10
     seed: int = 0
     m_step_tolerance: float = 1e-8
+    n_shards: Optional[int] = None
+    shard_jobs: Optional[int] = None
 
 
 EM_SOLVERS = ("lbfgs", "lbfgs-warm", "sgd")
@@ -140,6 +161,18 @@ class EMLearner:
         check_backend(base.backend)
         if base.solver not in EM_SOLVERS:
             raise ValueError(f"unknown solver {base.solver!r}; expected one of {EM_SOLVERS}")
+        if base.n_shards is not None:
+            if int(base.n_shards) < 1:
+                raise ValueError(f"n_shards must be a positive integer, got {base.n_shards!r}")
+            if base.backend != "vectorized":
+                raise ValueError("n_shards requires backend='vectorized'")
+            if base.solver == "sgd":
+                raise ValueError(
+                    "n_shards requires a statistics-reducing solver "
+                    "('lbfgs' or 'lbfgs-warm'); sgd consumes per-observation samples"
+                )
+        elif base.shard_jobs is not None:
+            raise ValueError("shard_jobs requires n_shards to be set")
         self.config = base
         self.trace_: Optional[EMTrace] = None
         self.warm_state_: Optional[WarmStartState] = None
@@ -209,6 +242,31 @@ class EMLearner:
         )
         model = model_from_flat(w, dataset, design, feature_space, intercept=True)
 
+        # Sharded E-step: contiguous object-range shards computed once per
+        # fit; each round reduces their partial per-source statistics
+        # instead of touching the full structure in one pass (identical up
+        # to the atol=1e-10 cross-shard reduce; see EMConfig.n_shards).
+        shards = None
+        shard_blocked = None
+        shard_pool = None
+        shard_reduce = None
+        if vectorized and self.config.n_shards is not None:
+            from ..fusion.sharding import (
+                shard_blocked_rows,
+                shard_structure,
+                sharded_correctness_stats,
+            )
+
+            shards = shard_structure(structure, int(self.config.n_shards))
+            shard_blocked = shard_blocked_rows(shards, blocked_rows)
+            shard_reduce = sharded_correctness_stats
+            if self.config.shard_jobs is not None and int(self.config.shard_jobs) > 1:
+                from ..experiments.parallel import ShardStatPool
+
+                shard_pool = ShardStatPool(
+                    shards, shard_blocked, dataset.n_sources, int(self.config.shard_jobs)
+                )
+
         deltas: List[float] = []
         converged = False
         previous_acc = model.accuracies()
@@ -247,93 +305,117 @@ class EMLearner:
         objective: Optional[CorrectnessObjective] = None
         result: Optional[SolverResult] = None
         delta = float("inf")
-        for _ in range(self.config.max_iterations):
-            # E-step: soft correctness of each observation, with the
-            # ground-truth clamp fused into the segmented softmax.
-            q_obs, _ = expected_correctness(
-                structure,
-                model.trust_scores(),
-                label_rows,
-                backend=self.config.backend,
-                blocked_rows=blocked_rows,
-            )
+        try:
+            for _ in range(self.config.max_iterations):
+                # E-step: soft correctness of each observation, with the
+                # ground-truth clamp fused into the segmented softmax.  On
+                # the sharded path the per-observation q never materializes
+                # globally: each shard reduces its own observations to
+                # per-source (totals, mass) partials.
+                if shards is not None:
+                    trust = model.trust_scores()
+                    if shard_pool is not None:
+                        totals, mass = shard_pool.stats(trust)
+                    else:
+                        totals, mass = shard_reduce(
+                            shards, trust, dataset.n_sources, shard_blocked
+                        )
+                    active = np.flatnonzero(totals > 0)
+                    source_idx = active
+                    labels = np.clip(mass[active] / totals[active], 0.0, 1.0)
+                    sample_weights = totals[active]
+                else:
+                    q_obs, _ = expected_correctness(
+                        structure,
+                        model.trust_scores(),
+                        label_rows,
+                        backend=self.config.backend,
+                        blocked_rows=blocked_rows,
+                    )
 
-            # M-step: weighted logistic regression with soft labels.  The
-            # objective is built once and re-pointed (re-reduced) at each
-            # round's samples — design, layout and penalties never change.
-            if reduce_m_step:
-                source_idx, labels, sample_weights = reduce_correctness_samples(
-                    structure.obs_source_idx, q_obs, dataset.n_sources
-                )
-            else:
-                source_idx, labels, sample_weights = (structure.obs_source_idx, q_obs, None)
-            if objective is None:
-                objective = CorrectnessObjective(
-                    source_idx=source_idx,
-                    labels=labels,
-                    design=design,
-                    sample_weights=sample_weights,
-                    l2_sources=self.config.l2_sources,
-                    l2_features=self.config.l2_features,
-                    intercept=True,
-                )
-            else:
-                objective.update_samples(source_idx, labels, sample_weights)
-            if self.config.solver == "sgd":
-                result = sgd(
-                    objective,
-                    n_samples=structure.obs_source_idx.shape[0],
-                    w0=w,
-                    epochs=self.config.sgd_epochs,
-                    seed=self.config.seed,
-                )
-            elif warm:
-                # Tolerance-adaptive stopping: while EM is far from its
-                # fixed point the M-step only needs enough precision to
-                # keep the outer iteration on track; the floor keeps the
-                # final rounds at least as tight as the scipy reference.
-                floor = min(1e-8, 10.0 * self.config.m_step_tolerance)
-                gtol = max(floor, min(1e-6, 1e-2 * delta))
-                if foreign_start:
-                    # A donor's weights may already satisfy the coarse
-                    # early-round gtol, which would hand them back verbatim;
-                    # solving the seeded round to the floor keeps the round's
-                    # optimum — and hence the whole EM trajectory —
-                    # independent of the donor.
-                    gtol = floor
-                    foreign_start = False
-                try:
-                    # Second-order update on the per-source sufficient
-                    # statistics: warm-started from the previous round's
-                    # weights, it reaches the M-step optimum in one or two
-                    # structured Newton solves.
-                    result = minimize_newton(objective, w0=solve_from, gtol=gtol)
-                except np.linalg.LinAlgError:  # pragma: no cover - degenerate
-                    result = minimize_lbfgs_warm(
+                    # M-step samples: the objective is built once and
+                    # re-pointed (re-reduced) at each round's samples —
+                    # design, layout and penalties never change.
+                    if reduce_m_step:
+                        source_idx, labels, sample_weights = reduce_correctness_samples(
+                            structure.obs_source_idx, q_obs, dataset.n_sources
+                        )
+                    else:
+                        source_idx, labels, sample_weights = (
+                            structure.obs_source_idx,
+                            q_obs,
+                            None,
+                        )
+                if objective is None:
+                    objective = CorrectnessObjective(
+                        source_idx=source_idx,
+                        labels=labels,
+                        design=design,
+                        sample_weights=sample_weights,
+                        l2_sources=self.config.l2_sources,
+                        l2_features=self.config.l2_features,
+                        intercept=True,
+                    )
+                else:
+                    objective.update_samples(source_idx, labels, sample_weights)
+                if self.config.solver == "sgd":
+                    result = sgd(
+                        objective,
+                        n_samples=structure.obs_source_idx.shape[0],
+                        w0=w,
+                        epochs=self.config.sgd_epochs,
+                        seed=self.config.seed,
+                    )
+                elif warm:
+                    # Tolerance-adaptive stopping: while EM is far from its
+                    # fixed point the M-step only needs enough precision to
+                    # keep the outer iteration on track; the floor keeps the
+                    # final rounds at least as tight as the scipy reference.
+                    floor = min(1e-8, 10.0 * self.config.m_step_tolerance)
+                    gtol = max(floor, min(1e-6, 1e-2 * delta))
+                    if foreign_start:
+                        # A donor's weights may already satisfy the coarse
+                        # early-round gtol, which would hand them back
+                        # verbatim; solving the seeded round to the floor
+                        # keeps the round's optimum — and hence the whole EM
+                        # trajectory — independent of the donor.
+                        gtol = floor
+                        foreign_start = False
+                    try:
+                        # Second-order update on the per-source sufficient
+                        # statistics: warm-started from the previous round's
+                        # weights, it reaches the M-step optimum in one or
+                        # two structured Newton solves.
+                        result = minimize_newton(objective, w0=solve_from, gtol=gtol)
+                    except np.linalg.LinAlgError:  # pragma: no cover - degenerate
+                        result = minimize_lbfgs_warm(
+                            objective,
+                            w0=solve_from,
+                            memory=warm_memory,
+                            gtol=gtol,
+                            ftol=self.config.m_step_tolerance,
+                        )
+                else:
+                    result = minimize_lbfgs(
                         objective,
                         w0=solve_from,
-                        memory=warm_memory,
-                        gtol=gtol,
-                        ftol=self.config.m_step_tolerance,
+                        tolerance=self.config.m_step_tolerance,
+                        gtol=min(1e-8, 10.0 * self.config.m_step_tolerance),
                     )
-            else:
-                result = minimize_lbfgs(
-                    objective,
-                    w0=solve_from,
-                    tolerance=self.config.m_step_tolerance,
-                    gtol=min(1e-8, 10.0 * self.config.m_step_tolerance),
-                )
-            w = result.w
-            solve_from = w
-            model = model_from_flat(w, dataset, design, feature_space, intercept=True)
+                w = result.w
+                solve_from = w
+                model = model_from_flat(w, dataset, design, feature_space, intercept=True)
 
-            current_acc = model.accuracies()
-            delta = float(np.mean(np.abs(current_acc - previous_acc)))
-            deltas.append(delta)
-            previous_acc = current_acc
-            if delta < self.config.tolerance:
-                converged = True
-                break
+                current_acc = model.accuracies()
+                delta = float(np.mean(np.abs(current_acc - previous_acc)))
+                deltas.append(delta)
+                previous_acc = current_acc
+                if delta < self.config.tolerance:
+                    converged = True
+                    break
+        finally:
+            if shard_pool is not None:
+                shard_pool.shutdown()
 
         self.trace_ = EMTrace(accuracy_deltas=deltas, n_iterations=len(deltas), converged=converged)
         self.m_step_result_ = result

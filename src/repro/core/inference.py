@@ -21,6 +21,7 @@ import numpy as np
 
 from ..fusion.dataset import FusionDataset
 from ..fusion.encoding import check_backend, expand_spans
+from ..fusion.posterior_store import segmented_argmax
 from ..fusion.types import ObjectId, Value
 from ..optim.objectives import segment_softmax
 from .model import AccuracyModel
@@ -168,18 +169,12 @@ def map_rows(
     """MAP value per object straight from flat row probabilities.
 
     Segmented argmax with the same tie-breaking rule as
-    :func:`map_assignment` (first row of the object's block wins ties).
+    :func:`map_assignment` (first row of the object's block wins ties),
+    shared with the ragged posterior store via
+    :func:`repro.fusion.posterior_store.segmented_argmax`.
     """
-    n_objects = structure.n_objects
-    segment_idx = structure.pair_object_pos
-    seg_max = np.full(n_objects, -np.inf)
-    np.maximum.at(seg_max, segment_idx, probs)
-    # First row achieving the segment maximum: minimize row index over
-    # maximizing rows.
-    best_row = np.full(n_objects, np.iinfo(np.int64).max, dtype=np.int64)
-    maximal = probs >= seg_max[segment_idx]
-    rows = np.flatnonzero(maximal)
-    np.minimum.at(best_row, segment_idx[rows], rows)
+    offsets = structure.pair_offsets
+    best_row = offsets[:-1] + segmented_argmax(probs, offsets)
     values = structure.pair_values
     assignment: Dict[ObjectId, Value] = {
         obj: values[best_row[position]]

@@ -18,6 +18,13 @@ pieces, which are deliberately generic:
   is inherited copy-on-write and sharing buys nothing).
 * :class:`SharedArrayRef` — the picklable marker left in an exported state
   dict where a shared array was extracted.
+* :class:`ShardStatPool` — a persistent worker pool computing per-shard
+  E-step sufficient statistics for a *single* sharded EM fit
+  (:mod:`repro.fusion.sharding`): shard arrays ship to each worker once
+  through the initializer (via shared memory when the start method would
+  pickle them), and every round only the trust vector crosses the
+  process boundary.  Partials reduce in ascending shard index, matching
+  the serial sharded path exactly.
 
 Workers receive read-only views: every attached array has its
 ``writeable`` flag cleared, so a worker that accidentally mutates shared
@@ -184,3 +191,113 @@ def resolve_shared(state: Mapping[str, object], arrays: Mapping[str, np.ndarray]
         name: arrays[value.key] if isinstance(value, SharedArrayRef) else value
         for name, value in state.items()
     }
+
+
+# ----------------------------------------------------------------------
+# Shard E-step fan-out (single-fit parallelism)
+# ----------------------------------------------------------------------
+# Worker-process globals, installed once by the pool initializer.
+_SHARD_STATE: Optional[tuple] = None
+
+
+def _init_shard_worker(
+    shard_states: List[Dict[str, object]],
+    blocked_per_shard: List[np.ndarray],
+    n_sources: int,
+    descriptor: Optional[dict],
+) -> None:
+    """Pool initializer: rebuild this worker's shard table once."""
+    global _SHARD_STATE
+    from ..fusion.sharding import StructureShard
+
+    segment = None
+    if descriptor is not None:
+        arrays, segment = attach_shared_arrays(descriptor)
+        shard_states = [resolve_shared(state, arrays) for state in shard_states]
+    shards = [StructureShard.from_state(state) for state in shard_states]
+    # The segment handle must stay referenced while the views are alive.
+    _SHARD_STATE = (shards, blocked_per_shard, n_sources, segment)
+
+
+def _shard_worker_stats(shard_idx: int, trust: np.ndarray):
+    """Compute one shard's (totals, mass) partial statistics."""
+    from ..fusion.sharding import shard_expected_stats
+
+    shards, blocked, n_sources, _ = _SHARD_STATE
+    return shard_expected_stats(shards[shard_idx], trust, n_sources, blocked[shard_idx])
+
+
+class ShardStatPool:
+    """Process pool evaluating shard E-steps for one sharded EM fit.
+
+    Built once per fit from the fit's
+    :class:`~repro.fusion.sharding.StructureShard` list: the shard arrays
+    ship to every worker exactly once through the pool initializer
+    (routed through one :class:`SharedArrayPack` segment when the start
+    method pickles initializer arguments), so each EM round only sends
+    the ``(n_sources,)`` trust vector and receives two ``(n_sources,)``
+    partial-statistic vectors per shard.  :meth:`stats` reduces partials
+    in ascending shard index — the same order as the in-process
+    :func:`repro.fusion.sharding.sharded_correctness_stats` — so process
+    fan-out never changes the fit.  Call :meth:`shutdown` (or use as a
+    context manager) to release the pool and any shared segment.
+    """
+
+    def __init__(
+        self,
+        shards: List,
+        blocked_per_shard: List[np.ndarray],
+        n_sources: int,
+        n_jobs: Optional[int] = None,
+    ) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._n_shards = len(shards)
+        self._n_sources = int(n_sources)
+        workers = min(resolve_n_jobs(n_jobs), max(self._n_shards, 1))
+        states = [shard.to_state() for shard in shards]
+        self._pack: Optional[SharedArrayPack] = None
+        descriptor = None
+        if sharing_is_worthwhile():
+            pool_arrays: Dict[str, np.ndarray] = {}
+            states = [
+                extract_shared(state, pool_arrays, f"shard{i}")
+                for i, state in enumerate(states)
+            ]
+            if pool_arrays:
+                self._pack = SharedArrayPack(pool_arrays)
+                descriptor = self._pack.descriptor
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_shard_worker,
+            initargs=(states, list(blocked_per_shard), self._n_sources, descriptor),
+        )
+
+    def stats(self, trust: np.ndarray):
+        """Fan one round's shard E-steps out; return summed (totals, mass)."""
+        futures = [
+            self._executor.submit(_shard_worker_stats, i, trust)
+            for i in range(self._n_shards)
+        ]
+        totals = np.zeros(self._n_sources)
+        mass = np.zeros(self._n_sources)
+        for future in futures:  # ascending shard index, not completion order
+            shard_totals, shard_mass = future.result()
+            totals += shard_totals
+            mass += shard_mass
+        return totals, mass
+
+    def shutdown(self) -> None:
+        """Release the pool and any shared-memory segment (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if self._pack is not None:
+            self._pack.release()
+            self._pack = None
+
+    def __enter__(self) -> "ShardStatPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -18,8 +18,11 @@ batch (O(1) dict work per observation on the reference engine).
 Two engines implement the model, selected by ``backend``:
 
 * ``"vectorized"`` (default) — array-native: source states live in flat
-  Beta-count vectors, the per-object score table is a dense
-  ``(n_objects, max_domain)`` matrix, and each :meth:`StreamingFuser.observe_batch`
+  Beta-count vectors, the per-object score table is **ragged** (per-object
+  spans over one flat array with doubling slack, mirroring the
+  incremental encoding's slot store — memory stays ``O(total claimed
+  values)`` even when one object's domain is huge), and each
+  :meth:`StreamingFuser.observe_batch`
   updates everything with bulk NumPy scatters over an
   :class:`~repro.fusion.encoding.IncrementalEncoding` (which also gives the
   fuser O(batch) appends and a snapshot compatible with the batch
@@ -48,7 +51,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..fusion.dataset import FusionDataset
-from ..fusion.encoding import IncrementalEncoding, check_backend
+from ..fusion.encoding import (
+    IncrementalEncoding,
+    _AppendBuffer,
+    check_backend,
+    expand_spans,
+)
 from ..fusion.result import FusionResult
 from ..fusion.types import ObjectId, Observation, SourceId, Value
 from ..optim.numerics import logit
@@ -167,9 +175,13 @@ def _argmax_posterior(posterior: Dict[Value, float]) -> Optional[Value]:
 class _VectorizedEngine:
     """Array-native engine over an incremental encoding.
 
-    Source Beta states are flat vectors, the score table is a dense
-    ``(n_objects, max_domain)`` matrix, and batches are processed with
-    bulk scatters; see the module docstring for the batch semantics.
+    Source Beta states are flat vectors; the score table is *ragged* —
+    object ``o``'s scores live in
+    ``_score_flat[_score_start[o] : _score_start[o] + |D_o|]`` with
+    capacity slack (``_score_cap``) doubled on domain growth, exactly the
+    relocate-and-double discipline of the incremental encoding's slot
+    store.  Batches are processed with bulk scatters; see the module
+    docstring for the batch semantics.
     """
 
     def __init__(self, fuser: "StreamingFuser") -> None:
@@ -180,10 +192,14 @@ class _VectorizedEngine:
         self._correct = np.zeros(8)
         self._total = np.zeros(8)
         self._n_sources = 0
-        self._scores = np.zeros((8, 2))
+        # Ragged score table: flat store + per-object (start, capacity)
+        # spans; _score_used is the high-water mark of allocated cells.
+        self._score_flat = np.zeros(16)
+        self._score_used = 0
+        self._score_start = _AppendBuffer(np.int64)
+        self._score_cap = _AppendBuffer(np.int64)
         self._truth_code = np.full(8, -1, dtype=np.int64)  # -1 unknown, -2 unclaimed truth
         self._n_objects = 0
-        self._max_domain = 0
         self.truth: Dict[ObjectId, Value] = {}
         self.n_processed = 0
         self.n_refits = 0
@@ -206,20 +222,51 @@ class _VectorizedEngine:
         self._total[self._n_sources : n_sources] = self._config.prior_total
         self._n_sources = n_sources
 
-    def _grow_objects(self, n_objects: int, max_domain: int) -> None:
-        rows, cols = self._scores.shape
-        if n_objects > rows or max_domain > cols:
-            new_rows = max(rows if n_objects <= rows else 2 * rows, n_objects)
-            new_cols = max(cols if max_domain <= cols else 2 * cols, max_domain)
-            fresh = np.zeros((new_rows, new_cols))
-            fresh[:rows, :cols] = self._scores
-            self._scores = fresh
+    def _grow_objects(self, n_objects: int) -> None:
         if n_objects > self._truth_code.shape[0]:
             fresh_codes = np.full(max(2 * self._truth_code.shape[0], n_objects), -1, dtype=np.int64)
             fresh_codes[: self._n_objects] = self._truth_code[: self._n_objects]
             self._truth_code = fresh_codes
+        # New objects start with an empty score span; _sync_score_spans
+        # allocates capacity once their domain size is known.
+        for _ in range(self._n_objects, n_objects):
+            self._score_start.push(0)
+            self._score_cap.push(0)
         self._n_objects = max(self._n_objects, n_objects)
-        self._max_domain = max(self._max_domain, max_domain)
+
+    def _grow_flat(self, needed: int) -> None:
+        capacity = self._score_flat.shape[0]
+        if needed > capacity:
+            fresh = np.zeros(max(2 * capacity, needed))
+            fresh[: self._score_used] = self._score_flat[: self._score_used]
+            self._score_flat = fresh
+
+    def _sync_score_spans(self, touched: np.ndarray) -> None:
+        """Ensure every touched object's span can hold its live domain.
+
+        Overflowing spans relocate to the tail of the flat store with
+        doubled capacity (copying their accumulated scores; fresh cells
+        are zero by construction, old cells become dead holes) — the same
+        amortized O(1)-per-growth discipline as
+        :meth:`repro.fusion.encoding.IncrementalEncoding`.
+        """
+        sizes = self.encoding.live_domain_sizes
+        for o_idx in touched.tolist():
+            need = int(sizes[o_idx])
+            cap = int(self._score_cap.data[o_idx])
+            if need <= cap:
+                continue
+            new_cap = max(2 * cap, need, 2)
+            position = self._score_used
+            self._grow_flat(position + new_cap)
+            if cap:
+                start = int(self._score_start.data[o_idx])
+                self._score_flat[position : position + cap] = self._score_flat[
+                    start : start + cap
+                ]
+            self._score_start.data[o_idx] = position
+            self._score_cap.data[o_idx] = new_cap
+            self._score_used = position + new_cap
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -234,10 +281,8 @@ class _VectorizedEngine:
         config = self._config
         n_objects_before = self._n_objects
         self._grow_sources(self.encoding.n_sources)
-        self._grow_objects(
-            self.encoding.n_objects,
-            max(self._max_domain, int(batch.value_code.max()) + 1),
-        )
+        self._grow_objects(self.encoding.n_objects)
+        self._sync_score_spans(np.unique(batch.object_idx))
 
         # Resolve revealed-but-unseen truth for objects this batch introduced.
         if self.truth:
@@ -270,7 +315,11 @@ class _VectorizedEngine:
 
         # Batch-start trusts score the whole batch (see module docstring).
         trust = logit(self._correct[batch_sources] / self._total[batch_sources])
-        np.add.at(self._scores, (o_idx, v_code), trust[source_inverse])
+        np.add.at(
+            self._score_flat,
+            self._score_start.data[o_idx] + v_code,
+            trust[source_inverse],
+        )
 
         truth_codes = self._truth_code[o_idx]
         labeled = truth_codes != -1
@@ -293,24 +342,33 @@ class _VectorizedEngine:
 
     def _batch_confidence(self, object_idx: np.ndarray, value_code: np.ndarray) -> np.ndarray:
         """Posterior confidence of each (object, claimed value) pair."""
+        starts = self._score_start.data
         if object_idx.shape[0] == 1:
             # Single-observation path mirrors the reference engine's exact
             # operation sequence (bit-identical self-training feedback).
             o_idx = int(object_idx[0])
             size = int(self.encoding.live_domain_sizes[o_idx])
-            arr = self._scores[o_idx, :size]
+            start = int(starts[o_idx])
+            arr = self._score_flat[start : start + size]
             arr = arr - arr.max()
             probs = np.exp(arr)
             probs /= probs.sum()
             return probs[value_code[:1]]
+        # Ragged gather: concatenate each unique object's live span and
+        # run segmented max/sum reductions over the concatenation.
         unique, inverse = np.unique(object_idx, return_inverse=True)
-        rows = self._scores[unique]
         sizes = self.encoding.live_domain_sizes[unique]
-        valid = np.arange(rows.shape[1]) < sizes[:, None]
-        masked = np.where(valid, rows, -np.inf)
-        peak = masked.max(axis=1)
-        exp = np.exp(masked - peak[:, None])
-        return exp[inverse, value_code] / exp.sum(axis=1)[inverse]
+        span_scores = self._score_flat[expand_spans(starts[unique], sizes)]
+        segment_idx = np.repeat(np.arange(unique.shape[0], dtype=np.int64), sizes)
+        peak = np.full(unique.shape[0], -np.inf)
+        np.maximum.at(peak, segment_idx, span_scores)
+        exp_sums = np.bincount(
+            segment_idx,
+            weights=np.exp(span_scores - peak[segment_idx]),
+            minlength=unique.shape[0],
+        )
+        claim_scores = self._score_flat[starts[object_idx] + value_code]
+        return np.exp(claim_scores - peak[inverse]) / exp_sums[inverse]
 
     # ------------------------------------------------------------------
     # Truth feedback
@@ -351,7 +409,8 @@ class _VectorizedEngine:
             clamped = {value: 0.0 for value in values}
             clamped[self.truth[obj]] = 1.0  # truth may be unclaimed
             return clamped
-        arr = self._scores[o_idx, : len(values)]
+        start = int(self._score_start.data[o_idx])
+        arr = self._score_flat[start : start + len(values)]
         arr = arr - arr.max()
         probs = np.exp(arr)
         probs /= probs.sum()
@@ -384,7 +443,9 @@ class _VectorizedEngine:
             )
         encoding = self.encoding
         structure = build_incremental_structure(encoding)
-        flat_scores = self._scores[encoding.pair_object_idx, encoding.pair_value_code]
+        flat_scores = self._score_flat[
+            self._score_start.data[encoding.pair_object_idx] + encoding.pair_value_code
+        ]
         probs = segment_softmax(flat_scores, encoding.pair_object_idx, encoding.n_objects)
         n = self._n_sources
         result = FusionResult.from_rows(
@@ -430,10 +491,10 @@ class _VectorizedEngine:
         self._correct[:n] = accuracies * self._total[:n]
         trust = logit(accuracies)
         encoding = self.encoding
-        self._scores[: self._n_objects] = 0.0
+        self._score_flat[: self._score_used] = 0.0
         np.add.at(
-            self._scores,
-            (encoding.obs_object_idx, encoding.obs_value_code),
+            self._score_flat,
+            self._score_start.data[encoding.obs_object_idx] + encoding.obs_value_code,
             trust[encoding.obs_source_idx],
         )
         self._last_refit_at = self.n_processed

@@ -12,7 +12,9 @@ from .metrics import (
     object_value_accuracy,
     source_accuracy_error,
 )
+from .posterior_store import DenseMaterializationWarning, PosteriorStore
 from .result import FusionResult
+from .sharding import StructureShard, shard_structure
 from .types import (
     DatasetError,
     DatasetStats,
@@ -36,6 +38,10 @@ __all__ = [
     "FeatureSpace",
     "build_design_matrix",
     "FusionResult",
+    "PosteriorStore",
+    "DenseMaterializationWarning",
+    "StructureShard",
+    "shard_structure",
     "Observation",
     "Indexer",
     "DatasetStats",

@@ -1,0 +1,281 @@
+"""Ragged (CSR) posterior storage for fusion results.
+
+The dense ``(n_objects, max_domain)`` posterior matrix the array-native
+refactor introduced is a memory wall: one object with a huge claimed
+domain inflates *every* row to ``max_domain`` columns, so a skewed
+million-observation dataset can demand tens of gigabytes for posteriors
+whose actual support is a few rows per object.  This module stores the
+same posteriors the way :class:`~repro.fusion.encoding.DenseEncoding`
+already stores claims — a CSR-style ragged layout:
+
+* ``offsets`` — ``(n_objects + 1,)`` int64 prefix sums; object ``i``'s
+  posterior lives in rows ``offsets[i]:offsets[i+1]`` of the flat arrays.
+* ``probs`` — flat float array, one probability per (object, value) row,
+  aligned with the encoding's ``pair_values`` layout.
+* ``value_codes`` — per-object MAP code into the object's domain
+  (segmented argmax with first-row tie-breaking, the same rule as
+  :func:`repro.core.inference.map_rows`); ``-1`` marks objects whose
+  value is overridden outside the claimed domain.
+
+Memory is ``O(total claimed values)`` instead of
+``O(n_objects * max_domain)``.  A dense view is still available through
+:meth:`PosteriorStore.dense`, but it is guarded: materializations past
+``DENSE_WARN_CELLS`` warn (:class:`DenseMaterializationWarning`) and past
+``DENSE_MAX_CELLS`` raise ``MemoryError`` — out-of-core callers must stay
+on the ragged accessors.  The flat arrays can round-trip through ``.npy``
+files and attach as ``numpy.memmap`` views (:meth:`PosteriorStore.save` /
+:meth:`PosteriorStore.load`) so posteriors larger than RAM can be served
+from disk.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+import numpy as np
+
+from .encoding import expand_spans
+
+#: Dense materializations above this many cells emit a
+#: :class:`DenseMaterializationWarning` (~80 MB of float64).
+DENSE_WARN_CELLS = 10_000_000
+
+#: Dense materializations above this many cells raise ``MemoryError``
+#: (~1.6 GB of float64); out-of-core paths must use the ragged accessors.
+DENSE_MAX_CELLS = 200_000_000
+
+_STORE_FILES = ("offsets", "probs", "value_codes")
+
+
+class DenseMaterializationWarning(UserWarning):
+    """A guarded dense posterior view is large enough to hurt."""
+
+
+def segmented_argmax(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment argmax (as within-segment codes) with first-row ties.
+
+    Segment ``i`` spans ``values[offsets[i]:offsets[i+1]]``; ties break
+    toward the earliest row, matching ``np.argmax`` on zero-padded dense
+    rows and :func:`repro.core.inference.map_rows`.  Empty segments get
+    code 0 (the dense convention for an all-zero row).
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n_segments = offsets.shape[0] - 1
+    lengths = offsets[1:] - offsets[:-1]
+    if n_segments == 0:
+        return np.zeros(0, dtype=np.int64)
+    segment_idx = np.repeat(np.arange(n_segments, dtype=np.int64), lengths)
+    seg_max = np.full(n_segments, -np.inf)
+    np.maximum.at(seg_max, segment_idx, values)
+    best_row = np.full(n_segments, np.iinfo(np.int64).max, dtype=np.int64)
+    maximal = np.flatnonzero(values >= seg_max[segment_idx])
+    np.minimum.at(best_row, segment_idx[maximal], maximal)
+    codes = best_row - offsets[:-1]
+    codes[lengths == 0] = 0
+    return codes
+
+
+class PosteriorStore:
+    """Ragged per-object posterior distributions (CSR layout).
+
+    Parameters
+    ----------
+    offsets:
+        ``(n_objects + 1,)`` int64 prefix sums over the flat rows.
+    probs:
+        Flat probabilities, one per (object, value) row; may be a
+        ``numpy.memmap`` for posteriors served from disk.
+    value_codes:
+        Optional precomputed per-object MAP codes (``-1`` = override).
+        When omitted they are derived lazily by :func:`segmented_argmax`
+        on first access.
+    """
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        probs: np.ndarray,
+        value_codes: Optional[np.ndarray] = None,
+    ) -> None:
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets.shape[0] < 1:
+            raise ValueError("offsets must be a 1-D prefix-sum array of length n_objects + 1")
+        # memmap inputs pass through np.asarray unchanged (no copy, no
+        # dtype cast needed: save() wrote float64/int64).
+        self.probs = probs if isinstance(probs, np.memmap) else np.asarray(probs, dtype=float)
+        if self.probs.shape[0] != int(self.offsets[-1]):
+            raise ValueError(
+                f"probs has {self.probs.shape[0]} rows but offsets cover {int(self.offsets[-1])}"
+            )
+        self._value_codes = (
+            None if value_codes is None else np.asarray(value_codes, dtype=np.int64)
+        )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        """Number of objects covered by the store."""
+        return self.offsets.shape[0] - 1
+
+    @property
+    def n_rows(self) -> int:
+        """Total flat (object, value) rows."""
+        return int(self.offsets[-1])
+
+    @property
+    def domain_sizes(self) -> np.ndarray:
+        """Per-object row counts (``|D_o|``)."""
+        return self.offsets[1:] - self.offsets[:-1]
+
+    @property
+    def max_domain(self) -> int:
+        """Largest per-object domain (the dense view's column count)."""
+        return int(self.domain_sizes.max()) if self.n_objects else 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the ragged arrays (codes counted when present)."""
+        total = self.offsets.nbytes + self.probs.nbytes
+        if self._value_codes is not None:
+            total += self._value_codes.nbytes
+        return total
+
+    def dense_cells(self) -> int:
+        """Cell count a dense ``(n_objects, max_domain)`` view would need."""
+        return self.n_objects * self.max_domain
+
+    def dense_nbytes(self) -> int:
+        """Projected bytes of the dense view (float64 cells)."""
+        return self.dense_cells() * 8
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def value_codes(self) -> np.ndarray:
+        """Per-object MAP value code (first-row ties, -1 = override)."""
+        if self._value_codes is None:
+            self._value_codes = segmented_argmax(self.probs, self.offsets)
+        return self._value_codes
+
+    def row(self, position: int) -> np.ndarray:
+        """Posterior probabilities of one object's rows (a view)."""
+        start, stop = int(self.offsets[position]), int(self.offsets[position + 1])
+        return self.probs[start:stop]
+
+    def max_probs(self) -> np.ndarray:
+        """Per-object maximum posterior mass (MAP confidence).
+
+        Objects with no rows (or all-zero override rows) report their raw
+        segment maximum — 0.0 for a zeroed span — matching
+        ``np.max(dense, axis=1)``; empty segments report 0.0.
+        """
+        lengths = self.domain_sizes
+        segment_idx = np.repeat(np.arange(self.n_objects, dtype=np.int64), lengths)
+        seg_max = np.zeros(self.n_objects)
+        np.maximum.at(seg_max, segment_idx, self.probs)
+        return seg_max
+
+    def dense(
+        self,
+        max_cells: Optional[int] = None,
+        warn_cells: Optional[int] = None,
+    ) -> np.ndarray:
+        """Materialize the dense ``(n_objects, max_domain)`` matrix.
+
+        Guarded: above ``warn_cells`` (default :data:`DENSE_WARN_CELLS`)
+        a :class:`DenseMaterializationWarning` is emitted; above
+        ``max_cells`` (default :data:`DENSE_MAX_CELLS`) ``MemoryError``
+        is raised with the projected size — the caller should use the
+        ragged accessors instead.
+        """
+        max_cells = DENSE_MAX_CELLS if max_cells is None else int(max_cells)
+        warn_cells = DENSE_WARN_CELLS if warn_cells is None else int(warn_cells)
+        cells = self.dense_cells()
+        if cells > max_cells:
+            raise MemoryError(
+                f"dense posterior view needs {cells} cells "
+                f"(~{self.dense_nbytes() / 1e9:.1f} GB) for "
+                f"{self.n_objects} objects x max domain {self.max_domain}; "
+                "refusing to materialize — use the ragged PosteriorStore "
+                "accessors (offsets/probs/value_codes) instead"
+            )
+        if cells > warn_cells:
+            warnings.warn(
+                f"materializing a {self.n_objects} x {self.max_domain} dense "
+                f"posterior view (~{self.dense_nbytes() / 1e6:.0f} MB); "
+                "prefer the ragged accessors at this scale",
+                DenseMaterializationWarning,
+                stacklevel=2,
+            )
+        lengths = self.domain_sizes
+        segment_idx = np.repeat(np.arange(self.n_objects, dtype=np.int64), lengths)
+        codes_within = (
+            np.arange(self.n_rows, dtype=np.int64) - self.offsets[:-1][segment_idx]
+        )
+        matrix = np.zeros((self.n_objects, self.max_domain))
+        matrix[segment_idx, codes_within] = self.probs
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Mutation used by clamping (construction-time only)
+    # ------------------------------------------------------------------
+    def zero_spans(self, positions: np.ndarray) -> None:
+        """Zero every row of the given objects (clamp preparation)."""
+        starts = self.offsets[:-1][positions]
+        lengths = self.offsets[1:][positions] - starts
+        self.probs[expand_spans(starts, lengths)] = 0.0
+
+    def set_point_mass(self, positions: np.ndarray, codes: np.ndarray) -> None:
+        """Clamp objects to exact point masses on within-domain codes."""
+        self.zero_spans(positions)
+        self.probs[self.offsets[:-1][positions] + codes] = 1.0
+        self.value_codes[positions] = codes
+
+    # ------------------------------------------------------------------
+    # Conversion / persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray, domain_sizes: np.ndarray) -> "PosteriorStore":
+        """Pack a zero-padded dense matrix into ragged form."""
+        domain_sizes = np.asarray(domain_sizes, dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(domain_sizes)])
+        matrix = np.asarray(matrix, dtype=float)
+        n_objects = matrix.shape[0]
+        segment_idx = np.repeat(np.arange(n_objects, dtype=np.int64), domain_sizes)
+        codes_within = (
+            np.arange(int(offsets[-1]), dtype=np.int64) - offsets[:-1][segment_idx]
+        )
+        return cls(offsets, matrix[segment_idx, codes_within])
+
+    def save(self, directory: str) -> str:
+        """Write the store as ``.npy`` files under ``directory``.
+
+        Creates ``offsets.npy``, ``probs.npy`` and ``value_codes.npy``
+        (codes are materialized if still lazy) and returns the directory,
+        ready for a memmapped :meth:`load`.
+        """
+        os.makedirs(directory, exist_ok=True)
+        arrays = (self.offsets, self.probs, self.value_codes)
+        for name, array in zip(_STORE_FILES, arrays):
+            np.save(os.path.join(directory, f"{name}.npy"), np.ascontiguousarray(array))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str, mmap: bool = False) -> "PosteriorStore":
+        """Read a store saved by :meth:`save`.
+
+        With ``mmap=True`` the flat arrays attach as read-only
+        ``numpy.memmap`` views, so posteriors larger than RAM are served
+        from disk page cache instead of being loaded wholesale.
+        """
+        mode = "r" if mmap else None
+        offsets, probs, codes = (
+            np.load(os.path.join(directory, f"{name}.npy"), mmap_mode=mode)
+            for name in _STORE_FILES
+        )
+        return cls(offsets, probs, codes)

@@ -5,23 +5,30 @@ backings:
 
 * **Array-backed** (the vectorized engine's output, built with
   :meth:`FusionResult.from_rows`): the estimate lives in flat NumPy arrays —
-  per-object MAP *value codes* into each object's domain, a dense
-  ``(n_objects, max_domain)`` posterior matrix (rows padded with zeros past
-  ``|D_o|``), and a per-source accuracy vector.  Nothing per-object is
-  materialized in Python at construction time, which keeps the predict path
-  free of O(n) dict loops.
+  per-object MAP *value codes* into each object's domain, a **ragged CSR
+  posterior store** (:class:`~repro.fusion.posterior_store.PosteriorStore`:
+  per-object offsets plus flat probabilities, ``O(total claimed values)``
+  memory instead of ``O(n_objects x max_domain)``), and a per-source
+  accuracy vector.  Nothing per-object is materialized in Python at
+  construction time, which keeps the predict path free of O(n) dict loops.
 * **Dict-backed** (baselines, streaming, hand-built results): the classic
   ``values`` / ``posteriors`` / ``source_accuracies`` dictionaries are
   stored directly; :meth:`attach_dataset` promotes such a result to array
-  form for fast metric evaluation.
+  form for fast metric evaluation.  Promotion is *lazy* for posteriors:
+  only the value codes are derived eagerly, and the ragged store builds on
+  first posterior access.
 
 Either way the public dict API is unchanged: ``values``, ``posteriors`` and
 ``source_accuracies`` are **lazily materialized cached views** — the first
 access of an array-backed result builds the dict once and caches it, so all
 existing consumers (baselines, the experiment harness, reports) keep
 working without modification, while hot callers use the ``value_codes`` /
-``posterior_matrix`` / ``source_accuracy_vector`` accessors and never pay
-for the dicts.
+``posterior_store`` / ``source_accuracy_vector`` accessors and never pay
+for the dicts.  ``posterior_matrix`` survives as a lazy *dense view* of the
+ragged store, cached on first access and guarded by the store's
+materialization thresholds (warn past ``DENSE_WARN_CELLS``, raise past
+``DENSE_MAX_CELLS``) so out-of-core results cannot be densified by
+accident.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from .metrics import (
     object_value_accuracy,
     value_accuracy_from_codes,
 )
+from .posterior_store import PosteriorStore
 from .types import ObjectId, SourceId, Value
 
 
@@ -85,7 +93,9 @@ class FusionResult:
         self._pair_values: Optional[List[Value]] = None
         self._pair_offsets: Optional[np.ndarray] = None
         self._value_codes: Optional[np.ndarray] = None
+        self._posterior_store: Optional[PosteriorStore] = None
         self._posterior_matrix: Optional[np.ndarray] = None
+        self._promotion_dataset: Optional[FusionDataset] = None
         self._accuracy_vector: Optional[np.ndarray] = None
         self._source_ids: Optional[List[SourceId]] = None
         # Clamped objects whose known truth is outside the claimed domain
@@ -127,9 +137,12 @@ class FusionResult:
             Estimated per-source accuracies aligned with ``source_ids``
             (typically ``model.accuracies()`` / ``model.source_ids``).
 
-        No per-object Python structures are built here — only NumPy
-        scatters — so this is O(rows) array work regardless of object
-        count.  The dict views materialize lazily on first access.
+        No per-object Python structures are built here — and no dense
+        matrix either: the flat ``row_probs`` become the ragged store
+        directly (one O(rows) copy plus a segmented argmax), so memory
+        stays ``O(rows)`` regardless of the largest domain.  The dict
+        views and the dense :attr:`posterior_matrix` materialize lazily
+        on first access.
         """
         # Bypass __init__: array-backed results start with no dict views
         # (the values-required check only guards the dict constructor).
@@ -140,50 +153,40 @@ class FusionResult:
         self.method = method
         self.diagnostics = diagnostics if diagnostics is not None else {}
         self._overrides = {}
+        self._posterior_matrix = None
+        self._promotion_dataset = None
 
         offsets = np.asarray(structure.pair_offsets, dtype=np.int64)
-        segment_idx = np.asarray(structure.pair_object_pos, dtype=np.int64)
-        probs = np.asarray(row_probs, dtype=float)
-        n_objects = structure.n_objects
+        # Clamping mutates rows in place; copy so callers keep their
+        # probability vector (posterior_rows output is reusable).
+        probs = np.array(row_probs, dtype=float, copy=True)
 
         self._object_ids = list(structure.object_ids)
         self._pair_values = structure.pair_values
         self._pair_offsets = offsets
 
-        domain_sizes = offsets[1:] - offsets[:-1]
-        max_domain = int(domain_sizes.max()) if n_objects else 0
-        codes_within = np.arange(offsets[-1], dtype=np.int64) - offsets[:-1][segment_idx]
-
-        matrix = np.zeros((n_objects, max_domain))
-        matrix[segment_idx, codes_within] = probs
-
-        # Segmented argmax with first-row tie-breaking (domain order), the
-        # same rule as map_assignment / map_rows.
-        value_codes = (
-            np.argmax(matrix, axis=1).astype(np.int64)
-            if max_domain
-            else np.zeros(0, dtype=np.int64)
-        )
+        store = PosteriorStore(offsets, probs)
 
         if clamp:
             labeled, truth_codes = _clamp_codes(structure, clamp)
             in_domain = labeled & (truth_codes >= 0)
             if np.any(in_domain):
                 positions = np.flatnonzero(in_domain)
-                matrix[positions, :] = 0.0
-                matrix[positions, truth_codes[positions]] = 1.0
-                value_codes[positions] = truth_codes[positions]
+                store.set_point_mass(positions, truth_codes[positions])
             out_of_domain = labeled & (truth_codes < 0)
             if np.any(out_of_domain):
                 positions = np.flatnonzero(out_of_domain)
-                matrix[positions, :] = 0.0
-                value_codes[positions] = -1
+                store.zero_spans(positions)
+                store.value_codes[positions] = -1
                 for position in positions:
                     obj = self._object_ids[int(position)]
                     self._overrides[obj] = clamp[obj]
 
-        self._value_codes = value_codes
-        self._posterior_matrix = matrix
+        # Segmented argmax with first-row tie-breaking (domain order), the
+        # same rule as map_assignment / map_rows; clamped point masses
+        # argmax to their truth code, overrides were forced to -1 above.
+        self._value_codes = store.value_codes
+        self._posterior_store = store
         if accuracy_vector is not None:
             if source_ids is None:
                 raise ValueError("accuracy_vector requires source_ids")
@@ -197,17 +200,20 @@ class FusionResult:
     def attach_dataset(self, dataset: FusionDataset) -> "FusionResult":
         """Promote a dict-backed result to array form using ``dataset``.
 
-        Computes :attr:`value_codes` (and, when posteriors exist,
-        :attr:`posterior_matrix`; when source accuracies exist,
+        Computes :attr:`value_codes` (and, when source accuracies exist,
         :attr:`source_accuracy_vector` with ``NaN`` for unestimated
         sources) from the stored dictionaries against the dataset's
         domains, so metric evaluation over many objects runs as array
         comparisons.  Values outside an object's claimed domain (e.g. the
         open-world ``UNKNOWN`` marker) are kept as dict overrides with code
-        -1.  This is a one-time O(n_objects x max_domain) pass; results
-        that already carry arrays return unchanged, so calling it
-        defensively (as the experiment harness does before scoring) is
-        cheap.  Returns ``self`` for chaining.
+        -1.  Posteriors are **not** densified here: promotion only records
+        the dataset, and the ragged :attr:`posterior_store` (or its dense
+        :attr:`posterior_matrix` view) builds lazily on first access —
+        metric evaluation never pays for posteriors it does not read.
+        This is a one-time O(n_objects) pass; results that already carry
+        arrays return unchanged, so calling it defensively (as the
+        experiment harness does before scoring) is cheap.  Returns
+        ``self`` for chaining.
         """
         if self._value_codes is not None:
             return self
@@ -236,18 +242,10 @@ class FusionResult:
         self._overrides = overrides
 
         if self._posteriors is not None:
-            max_domain = int(encoding.domain_sizes.max()) if n_objects else 0
-            matrix = np.zeros((n_objects, max_domain))
-            for o_idx, obj in enumerate(object_ids):
-                dist = self._posteriors.get(obj)
-                if not dist:
-                    continue
-                domain = dataset.domain_by_index(o_idx)
-                for value, prob in dist.items():
-                    code = domain.get(value)
-                    if code is not None:
-                        matrix[o_idx, code] = prob
-            self._posterior_matrix = matrix
+            # Lazy promotion: keep the dataset so posterior_store can
+            # translate the dicts on first access instead of eagerly
+            # materializing probabilities nobody may read.
+            self._promotion_dataset = dataset
 
         if self._source_accuracies is not None:
             self._source_ids = list(dataset.sources.items)
@@ -286,23 +284,60 @@ class FusionResult:
         return self._value_codes
 
     @property
-    def posterior_matrix(self) -> np.ndarray:
-        """Dense ``(n_objects, max_domain)`` posterior matrix.
+    def posterior_store(self) -> PosteriorStore:
+        """Ragged per-object posteriors (the memory-bounded accessor).
 
-        Row ``i`` holds ``P(T_o = d | Ω)`` over the domain codes of the
-        i-th object in :attr:`object_ids`, zero-padded past ``|D_o|``.
-        Clamped objects are exact point masses on their truth code;
-        override objects (value outside the claimed domain) have an
-        all-zero row, with the point mass recorded in :attr:`overrides`
-        instead.  Only probabilistic results carry the matrix: array-backed
-        ones from construction, dict-backed ones after
-        :meth:`attach_dataset`; otherwise ``ValueError`` is raised.
+        A :class:`~repro.fusion.posterior_store.PosteriorStore` holding
+        object ``i``'s distribution in rows
+        ``offsets[i]:offsets[i+1]`` of its flat ``probs`` array, aligned
+        with the claimed-value layout of :attr:`object_ids` /
+        ``pair_values``.  Clamped objects are exact point masses on their
+        truth code; override objects (value outside the claimed domain)
+        have an all-zero span, with the point mass recorded in
+        :attr:`overrides` instead.  Dict-backed results promoted by
+        :meth:`attach_dataset` build the store lazily here on first
+        access.  Raises ``ValueError`` for results without posteriors.
         """
-        if self._posterior_matrix is None:
+        if self._posterior_store is None and self._posteriors is not None:
+            dataset = self._promotion_dataset
+            if dataset is not None and self._pair_offsets is not None:
+                offsets = self._pair_offsets
+                probs = np.zeros(int(offsets[-1]))
+                bases = offsets[:-1].tolist()
+                for o_idx, obj in enumerate(self._object_ids):
+                    dist = self._posteriors.get(obj)
+                    if not dist:
+                        continue
+                    domain = dataset.domain_by_index(o_idx)
+                    base = bases[o_idx]
+                    for value, prob in dist.items():
+                        code = domain.get(value)
+                        if code is not None:
+                            probs[base + code] = prob
+                self._posterior_store = PosteriorStore(offsets, probs)
+        if self._posterior_store is None:
             raise ValueError(
                 "result has no posterior matrix; only probabilistic "
                 "array-backed results carry one"
             )
+        return self._posterior_store
+
+    @property
+    def posterior_matrix(self) -> np.ndarray:
+        """Dense ``(n_objects, max_domain)`` posterior matrix (lazy view).
+
+        Row ``i`` holds ``P(T_o = d | Ω)`` over the domain codes of the
+        i-th object in :attr:`object_ids`, zero-padded past ``|D_o|``.
+        Since the ragged refactor this is a *view materialized from*
+        :attr:`posterior_store` on first access (then cached): it warns
+        (:class:`~repro.fusion.posterior_store.DenseMaterializationWarning`)
+        past ``DENSE_WARN_CELLS`` and raises ``MemoryError`` past
+        ``DENSE_MAX_CELLS``, so out-of-core results cannot be densified by
+        accident — use the ragged store at that scale.  Only probabilistic
+        results carry posteriors; otherwise ``ValueError`` is raised.
+        """
+        if self._posterior_matrix is None:
+            self._posterior_matrix = self.posterior_store.dense()
         return self._posterior_matrix
 
     @property
@@ -347,8 +382,10 @@ class FusionResult:
 
         Override objects (code -1, value clamped outside the domain) have
         confidence 1.0, matching the point-mass semantics of the dict view.
+        Computed as a segmented max over the ragged store — no dense
+        materialization.
         """
-        confidence = np.max(self.posterior_matrix, axis=1)
+        confidence = self.posterior_store.max_probs()
         if self._overrides:
             index = self.position_index()
             for obj in self._overrides:
@@ -401,15 +438,14 @@ class FusionResult:
     @property
     def posteriors(self) -> Optional[Dict[ObjectId, Dict[Value, float]]]:
         """Posterior distribution per object (cached dict view)."""
-        if self._posteriors is None and self._posterior_matrix is not None:
+        if self._posteriors is None and self._posterior_store is not None:
             offsets = self._pair_offsets.tolist()
             pair_values = self._pair_values
-            matrix_rows = self._posterior_matrix.tolist()
+            probs_list = self._posterior_store.probs.tolist()
             result: Dict[ObjectId, Dict[Value, float]] = {}
             for i, obj in enumerate(self._object_ids):
                 start, stop = offsets[i], offsets[i + 1]
-                row = matrix_rows[i]
-                result[obj] = dict(zip(pair_values[start:stop], row))
+                result[obj] = dict(zip(pair_values[start:stop], probs_list[start:stop]))
                 override = self._overrides.get(obj)
                 if override is not None:
                     result[obj][override] = 1.0
@@ -419,7 +455,9 @@ class FusionResult:
     @posteriors.setter
     def posteriors(self, new: Optional[Dict[ObjectId, Dict[Value, float]]]) -> None:
         self._posteriors = new
+        self._posterior_store = None
         self._posterior_matrix = None
+        self._promotion_dataset = None
 
     @property
     def source_accuracies(self) -> Optional[Dict[SourceId, float]]:
