@@ -5,11 +5,14 @@ Three jobs, stdlib only:
 
 1. **Symbol validation** — every ``repro.*`` dotted name written in
    backticks in the README or the docs pages must import and carry a
-   docstring, so the reference cannot drift from the code.
+   docstring, so the reference cannot drift from the code.  For the
+   modules in ``COVERAGE_MODULES`` the inverse also holds: every
+   ``__all__`` name must be documented somewhere, so new public surface
+   cannot ship undocumented.
 2. **Code-block smoke** — every fenced ``python`` block in the README and
-   docs is executed in a fresh subprocess (with ``src`` on the path);
-   the quickstart a new user copy-pastes is therefore tested on every CI
-   run.
+   docs is executed in a fresh subprocess (with ``src`` on the path), as
+   are the example scripts in ``EXAMPLE_SCRIPTS``; the quickstart a new
+   user copy-pastes is therefore tested on every CI run.
 3. **Rendering** — a minimal Markdown-to-HTML pass writes browsable pages
    to ``docs/_build/`` (headings, fenced code, lists, tables, block
    quotes, inline code/bold/links).
@@ -33,7 +36,21 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 DOCS = ROOT / "docs"
-SOURCES = [ROOT / "README.md", DOCS / "index.md", DOCS / "api.md", DOCS / "performance.md"]
+SOURCES = [
+    ROOT / "README.md",
+    DOCS / "index.md",
+    DOCS / "api.md",
+    DOCS / "performance.md",
+    DOCS / "serving.md",
+]
+
+#: Example scripts executed (like code blocks) in --check mode.
+EXAMPLE_SCRIPTS = [ROOT / "examples" / "serve_demo.py"]
+
+#: Modules whose *entire* public surface (``__all__``) must be named in
+#: the docs — the inverse of symbol validation: not "everything written
+#: resolves" but "everything public is written somewhere".
+COVERAGE_MODULES = ["repro.serve"]
 
 SYMBOL_RE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)")
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
@@ -87,6 +104,30 @@ def check_symbols(paths) -> list:
     return failures
 
 
+def check_public_coverage(paths) -> list:
+    """Every ``__all__`` name of the coverage modules must be documented.
+
+    A public symbol counts as documented when its dotted name (e.g.
+    ``repro.serve.FusionServer``) appears in an inline code span in at
+    least one docs source; resolvability and docstrings are then covered
+    by :func:`check_symbols` like any other documented name.
+    """
+    documented = set()
+    for names in collect_symbols(paths).values():
+        documented.update(names)
+    failures = []
+    for module_name in COVERAGE_MODULES:
+        module = importlib.import_module(module_name)
+        for public in module.__all__:
+            dotted = f"{module_name}.{public}"
+            if dotted not in documented:
+                failures.append(
+                    f"{dotted} is public (in {module_name}.__all__) but never "
+                    f"documented — name it in docs/ or the README"
+                )
+    return failures
+
+
 # ----------------------------------------------------------------------
 # Code-block smoke
 # ----------------------------------------------------------------------
@@ -135,6 +176,30 @@ def run_blocks(paths) -> list:
                 failures.append(f"{label} failed:\n{proc.stderr.strip()}")
             else:
                 print(f"  ran {label} ok")
+    return failures
+
+
+def run_examples(paths) -> list:
+    """Execute example scripts end to end; return failures."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    failures = []
+    for path in paths:
+        proc = subprocess.run(
+            [sys.executable, str(path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(ROOT),
+            timeout=600,
+        )
+        label = str(path.relative_to(ROOT))
+        if proc.returncode != 0:
+            failures.append(f"{label} failed:\n{proc.stderr.strip()}")
+        else:
+            print(f"  ran {label} ok")
     return failures
 
 
@@ -265,9 +330,13 @@ def main(argv=None) -> int:
     sys.path.insert(0, str(ROOT / "src"))
     print("validating documented symbols...")
     failures = check_symbols(SOURCES)
+    print("checking public-surface coverage...")
+    failures += check_public_coverage(SOURCES)
     if args.check:
         print("running documentation code blocks...")
         failures += run_blocks(SOURCES)
+        print("running example scripts...")
+        failures += run_examples(EXAMPLE_SCRIPTS)
     else:
         render(SOURCES, args.output)
 

@@ -33,6 +33,9 @@ Package map:
   plus the batched multi-fit sweep engine
   (:class:`~repro.experiments.sweeps.SweepRunner`: one dataset compile
   shared by every fit of a parameter sweep, with warm-start handoff).
+* :mod:`repro.serve` — fusion as a service: a concurrent query front-end
+  (:class:`~repro.serve.server.FusionServer`) over immutable published
+  snapshots with atomic swap, so reads never block on ingest.
 
 Execution backends
 ------------------

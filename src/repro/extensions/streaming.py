@@ -653,6 +653,34 @@ class StreamingFuser:
         """
         return self._engine.to_result(dataset)
 
+    def publish_state(self, with_dataset: bool = False) -> Dict[str, object]:
+        """Package the current state for the serving layer (vectorized only).
+
+        Returns everything ``repro.serve`` needs to publish an immutable
+        snapshot: ``result`` (the array-backed :meth:`to_result`
+        snapshot), ``truth`` (a copy of the revealed labels), the stream
+        counters ``n_observations`` / ``n_processed`` / ``n_refits``, and
+        — when ``with_dataset`` is True — ``dataset``, the accumulated
+        stream exported via ``IncrementalEncoding.to_dataset`` with the
+        frozen compiled encoding attached (an O(n) walk; leave it off on
+        hot publish paths).  Raises ``ValueError`` on the reference
+        backend, which has no array state to publish.
+        """
+        if self.backend != "vectorized":
+            raise ValueError("publish_state requires backend='vectorized'")
+        engine = self._engine
+        dataset = None
+        if with_dataset and engine.encoding.n_observations:
+            dataset = engine.encoding.to_dataset(attach_encoding=True)
+        return {
+            "result": engine.to_result(),
+            "truth": dict(engine.truth),
+            "n_observations": engine.encoding.n_observations,
+            "n_processed": engine.n_processed,
+            "n_refits": engine.n_refits,
+            "dataset": dataset,
+        }
+
 
 def replay_dataset(
     dataset: FusionDataset,

@@ -236,6 +236,21 @@ class PosteriorStore:
         self.probs[self.offsets[:-1][positions] + codes] = 1.0
         self.value_codes[positions] = codes
 
+    def freeze(self) -> "PosteriorStore":
+        """Mark the flat arrays read-only (serving-snapshot discipline).
+
+        Materializes lazy value codes, then flips ``writeable`` off on
+        every array (memmaps opened read-only already are).  The
+        construction-time mutators (:meth:`zero_spans` /
+        :meth:`set_point_mass`) raise afterwards; ``repro.serve``
+        publishes every store through this so concurrent readers can
+        rely on snapshot immutability.  Returns ``self`` for chaining.
+        """
+        for array in (self.offsets, self.probs, self.value_codes):
+            if array.flags.writeable:
+                array.setflags(write=False)
+        return self
+
     # ------------------------------------------------------------------
     # Conversion / persistence
     # ------------------------------------------------------------------

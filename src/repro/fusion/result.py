@@ -371,6 +371,32 @@ class FusionResult:
         """Out-of-domain values keyed by object (code -1 in value_codes)."""
         return self._overrides
 
+    @property
+    def pair_offsets(self) -> np.ndarray:
+        """CSR offsets over the flat claimed-value rows (array-backed only).
+
+        ``(n_objects + 1,)`` int64 prefix sums: object ``i``'s claimed
+        values occupy rows ``pair_offsets[i]:pair_offsets[i+1]`` of
+        :attr:`pair_values` and of the :attr:`posterior_store`'s flat
+        ``probs`` — the layout ``repro.serve`` snapshots serve from.
+        Raises ``ValueError`` on dict-backed results.
+        """
+        if self._pair_offsets is None:
+            raise ValueError("result is dict-backed; call attach_dataset(dataset)")
+        return self._pair_offsets
+
+    @property
+    def pair_values(self) -> List[Value]:
+        """Flat claimed values aligned with :attr:`pair_offsets` rows.
+
+        Decoding a value code is ``pair_values[pair_offsets[i] + code]``;
+        :meth:`predicted_values` bulk-decodes.  Raises ``ValueError`` on
+        dict-backed results.
+        """
+        if self._pair_values is None:
+            raise ValueError("result is dict-backed; call attach_dataset(dataset)")
+        return self._pair_values
+
     def position_index(self) -> Dict[ObjectId, int]:
         """Object id -> position in the array backing (built once, cached)."""
         if getattr(self, "_position_index", None) is None:

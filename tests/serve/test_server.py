@@ -1,0 +1,314 @@
+"""FusionServer: swap atomicity under concurrent readers, retirement,
+writer loop, and the serving entrypoint.
+
+The reader/writer contract under test:
+
+* a leased snapshot is internally consistent — readers racing a stream
+  of publishes never observe torn state (mismatched array lengths,
+  non-normalized posteriors, a version that goes backwards);
+* queries against a *retired* snapshot still complete with the retired
+  data (retirement is bookkeeping, not invalidation), and retired
+  snapshots drain exactly when their last lease drops;
+* the background writer loop survives bad batches and drains the queue;
+* ``python -m repro.serve`` runs end to end.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.extensions.streaming import StreamingFuser
+from repro.serve import FusionServer, ServeMetrics, Snapshot
+from repro.serve.__main__ import main as serve_main
+from repro.serve.__main__ import simulate_batches
+
+
+def batch_for(batch_index, n_sources=4, objects_per_batch=8, domain=3):
+    """Deterministic batch of fresh objects, every source claiming each."""
+    rng = np.random.default_rng(batch_index)
+    batch = []
+    for slot in range(objects_per_batch):
+        obj = f"b{batch_index}_o{slot}"
+        for source in range(n_sources):
+            batch.append((f"s{source}", obj, f"v{rng.integers(domain)}"))
+    return batch
+
+
+class TestBasics:
+    def test_append_publish_query(self):
+        server = FusionServer()
+        server.append(batch_for(0))
+        assert server.version == 0  # nothing published yet
+        snapshot = server.publish()
+        assert server.version == 1
+        assert snapshot is server.snapshot
+        obj = "b0_o0"
+        assert server.posterior(obj)
+        assert server.value(obj) is not None
+        assert server.confidence(obj) > 0.0
+        assert isinstance(server.top_conflicts(3), list)
+        assert server.source_accuracies()
+
+    def test_publish_every_auto_publishes(self):
+        server = FusionServer(publish_every=2)
+        server.append(batch_for(0))
+        assert server.version == 0
+        server.append(batch_for(1))
+        assert server.version == 1
+        server.append(batch_for(2))
+        server.append(batch_for(3))
+        assert server.version == 2
+
+    def test_queries_before_first_publish_hit_empty_snapshot(self):
+        server = FusionServer()
+        server.append(batch_for(0))
+        assert server.posterior("b0_o0") == {}
+        assert server.value("b0_o0") is None
+
+    def test_reveal_truth_and_refit_flow_through(self):
+        server = FusionServer(refit_overrides={"max_iterations": 3})
+        server.append(batch_for(0))
+        server.reveal_truth("b0_o0", "v0")
+        server.refit()
+        server.publish()
+        assert server.value("b0_o0") == "v0"
+        assert server.snapshot.n_refits == 1
+
+    def test_metrics_recorded(self):
+        metrics = ServeMetrics()
+        server = FusionServer(publish_every=1, metrics=metrics)
+        server.append(batch_for(0))
+        server.posterior("b0_o0")
+        server.value("b0_o0")
+        assert metrics.ingest_batches == 1
+        assert metrics.swap_count == 1
+        assert metrics.query_counts == {"posterior": 1, "value": 1}
+        assert metrics.snapshot_age_seconds() >= 0.0
+
+    def test_rejects_reference_fuser_and_bad_config(self):
+        with pytest.raises(ValueError, match="vectorized"):
+            FusionServer(fuser=StreamingFuser(backend="reference"))
+        with pytest.raises(ValueError, match="publish_every"):
+            FusionServer(publish_every=0)
+        with pytest.raises(ValueError, match="fuser_kwargs"):
+            FusionServer(fuser=StreamingFuser(), decay=0.9)
+
+    def test_fuser_kwargs_build_the_fuser(self):
+        server = FusionServer(decay=0.99, refit_every=1000)
+        assert server.fuser.decay == 0.99
+        assert server.fuser.refit_every == 1000
+
+
+class TestRetirement:
+    def test_lease_counts(self):
+        server = FusionServer()
+        server.append(batch_for(0))
+        server.publish()
+        with server.read() as snapshot:
+            assert snapshot.reader_count == 1
+            with server.read() as again:
+                assert again is snapshot
+                assert snapshot.reader_count == 2
+        assert snapshot.reader_count == 0
+
+    def test_retired_snapshot_queries_still_complete(self):
+        server = FusionServer()
+        server.append(batch_for(0))
+        server.publish()
+        with server.read() as old:
+            before = old.posterior("b0_o0")
+            server.append(batch_for(1))
+            fresh = server.publish()
+            assert old.retired
+            assert not old.drained  # our lease is still out
+            # The retired snapshot keeps answering with its own data.
+            assert old.posterior("b0_o0") == pytest.approx(before)
+            assert old.posterior("b1_o0") == {}
+            assert fresh.posterior("b1_o0")
+        assert old.drained
+        server._reap_retired()
+        assert server.retiring_count == 0
+        assert server.metrics.drained_count >= 1
+
+    def test_unleased_snapshot_drains_on_publish(self):
+        server = FusionServer()
+        server.append(batch_for(0))
+        first = server.publish()
+        server.append(batch_for(1))
+        server.publish()
+        assert first.retired and first.drained
+        assert server.retiring_count == 0
+
+    def test_wait_drained(self):
+        server = FusionServer()
+        server.append(batch_for(0))
+        first = server.publish()
+        assert not first.wait_drained(timeout=0.01)
+        server.append(batch_for(1))
+        server.publish()
+        assert first.wait_drained(timeout=1.0)
+
+
+class TestConcurrentSwap:
+    """No reader may ever observe a torn snapshot."""
+
+    N_BATCHES = 12
+    N_READERS = 4
+
+    def test_readers_never_see_torn_state(self):
+        server = FusionServer(publish_every=1)
+        server.append(batch_for(0))
+        stop = threading.Event()
+        failures = []
+
+        def reader(seed):
+            rng = np.random.default_rng(seed)
+            last_version = -1
+            reads = 0
+            while not stop.is_set() or reads == 0:
+                reads += 1
+                with server.read() as snapshot:
+                    try:
+                        # Internal consistency: every aligned structure
+                        # agrees on the object count and the posterior
+                        # of a sampled object is a distribution.
+                        n = snapshot.n_objects
+                        assert len(snapshot.object_ids) == n
+                        assert snapshot.conflicts.margins.shape[0] == n
+                        assert snapshot.store.offsets.shape[0] == n + 1
+                        assert len(snapshot.pair_values) == snapshot.store.n_rows
+                        assert snapshot.version >= last_version
+                        last_version = snapshot.version
+                        if n:
+                            obj = snapshot.object_ids[int(rng.integers(n))]
+                            posterior = snapshot.posterior(obj)
+                            if obj not in snapshot.overrides:
+                                assert sum(posterior.values()) == pytest.approx(1.0)
+                            snapshot.top_conflicts(3)
+                    except AssertionError as error:  # pragma: no cover
+                        failures.append(error)
+                        return
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(self.N_READERS)]
+        for thread in threads:
+            thread.start()
+        for index in range(1, self.N_BATCHES):
+            server.append(batch_for(index))
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        assert server.version == self.N_BATCHES
+        # Every superseded snapshot eventually drains once readers exit.
+        server._reap_retired()
+        assert server.retiring_count == 0
+
+    def test_concurrent_retired_reads_complete(self):
+        server = FusionServer()
+        server.append(batch_for(0))
+        server.publish()
+        barrier = threading.Barrier(3)
+        results = []
+
+        def stale_reader():
+            with server.read() as snapshot:
+                barrier.wait(timeout=5)
+                barrier.wait(timeout=5)  # hold the lease across the swap
+                results.append(snapshot.posterior("b0_o0"))
+
+        threads = [threading.Thread(target=stale_reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=5)
+        server.append(batch_for(1))
+        server.publish()
+        barrier.wait(timeout=5)
+        for thread in threads:
+            thread.join()
+        assert len(results) == 2
+        for posterior in results:
+            assert sum(posterior.values()) == pytest.approx(1.0)
+
+
+class TestWriterLoop:
+    def test_ingest_flush_stop(self):
+        server = FusionServer(publish_every=2).start()
+        for index in range(4):
+            server.ingest(batch_for(index))
+        server.ingest_truth("b0_o0", "v1")
+        server.flush()
+        server.stop(publish=True)
+        assert server.metrics.ingest_batches == 4
+        assert server.version >= 2
+        assert server.value("b0_o0") == "v1"
+
+    def test_bad_batch_does_not_kill_the_loop(self):
+        server = FusionServer().start()
+        batch = batch_for(0)
+        server.ingest(batch)
+        server.ingest(batch)  # duplicate (source, object) claims -> rejected
+        server.ingest(batch_for(1))
+        server.flush()
+        server.stop(publish=True)
+        assert server.metrics.ingest_errors == 1
+        assert server.metrics.ingest_batches == 2
+        assert server.last_ingest_error is not None
+        assert server.posterior("b1_o0")
+
+    def test_requires_start(self):
+        server = FusionServer()
+        with pytest.raises(RuntimeError, match="start"):
+            server.ingest(batch_for(0))
+        with pytest.raises(RuntimeError, match="start"):
+            server.flush()
+        server.stop()  # stop without start is a no-op
+
+    def test_double_start_rejected(self):
+        server = FusionServer().start()
+        try:
+            with pytest.raises(RuntimeError, match="already"):
+                server.start()
+        finally:
+            server.stop()
+
+
+class TestEntrypoint:
+    def test_simulate_batches_unique_claims(self):
+        batches, truth = simulate_batches(3, 4, 5, seed=1)
+        claims = [(s, o) for batch in batches for (s, o, _) in batch]
+        assert len(claims) == len(set(claims)) == 3 * 4 * 5
+        assert len(truth) == 12
+
+    def test_main_text_mode(self, capsys):
+        code = serve_main(
+            ["--batches", "3", "--objects-per-batch", "4", "--sources", "3",
+             "--readers", "2", "--queries", "20", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "published v" in out
+        assert "top-5 conflicts" in out
+
+    def test_main_json_mode(self, capsys):
+        import json
+
+        code = serve_main(
+            ["--batches", "2", "--objects-per-batch", "4", "--sources", "3",
+             "--readers", "1", "--queries", "10", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["snapshot"]["n_objects"] == 8
+        assert report["metrics"]["snapshots"]["swaps"] >= 1
+        assert report["source_accuracies"]
+
+
+class TestSnapshotPeek:
+    def test_snapshot_property_tracks_publishes(self):
+        server = FusionServer()
+        assert isinstance(server.snapshot, Snapshot)
+        assert server.snapshot.version == 0
+        server.append(batch_for(0))
+        published = server.publish()
+        assert server.snapshot is published
