@@ -1,0 +1,113 @@
+"""Scenario benchmarks: drifting, copying, and open-world streams.
+
+Replays the adversarial scenario generators in :mod:`repro.data.scenarios`
+through the figure-style driver ``repro.experiments.scenario`` and pins
+the qualitative claims the scenario test suite relies on, at bench scale:
+
+* step drift — decayed trust beats flat Beta counts post-drift;
+* copier cliques — planted pairs dominate the copying detector's ranking;
+* open-world growth — streaming ingest survives growing domains and still
+  beats majority vote.
+
+Smoke scale by default; ``REPRO_BENCH_SCALE=full`` (the ``run_all.py
+--full`` convention) runs paper-scale streams.
+"""
+
+from repro.core import find_candidate_pairs
+from repro.data import copier_clique_scenario, drift_scenario, open_world_scenario
+from repro.experiments import format_table, scenario
+from repro.extensions import DecayConfig
+
+from conftest import FULL_SCALE, publish
+
+if FULL_SCALE:
+    SCALE = {"n_steps": 40, "objects_per_step": 14}
+else:
+    SCALE = {"n_steps": 14, "objects_per_step": 8}
+
+
+def test_scenario_drift_decay(benchmark):
+    scn = drift_scenario(n_sources=14, seed=11, **SCALE)
+
+    def run():
+        return scenario(
+            scn,
+            methods=("stream-flat", "stream-decayed", "stream-windowed", "batch-em", "majority"),
+            decay=DecayConfig(half_life=scn.n_observations / (8 * scn.n_sources)),
+            eval_window=4,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("scenario_drift", report.table())
+
+    flat = report.series["stream-flat"]
+    decayed = report.series["stream-decayed"]
+    assert decayed.tail()["accuracy"] > flat.tail()["accuracy"]
+    assert decayed.trust_error[-1] < flat.trust_error[-1]
+
+
+def test_scenario_copier_cliques(benchmark):
+    scn = copier_clique_scenario(
+        n_sources=18,
+        n_cliques=2,
+        clique_size=4,
+        objects_per_step=SCALE["objects_per_step"],
+        n_steps=SCALE["n_steps"],
+        seed=11,
+    )
+
+    def run():
+        return find_candidate_pairs(scn.to_dataset(), z_threshold=0.0, max_pairs=500)
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    planted = set()
+    for clique in scn.cliques:
+        for i, a in enumerate(clique):
+            for b in clique[i + 1 :]:
+                planted.add(frozenset((a, b)))
+    ranked = sorted(pairs, key=lambda p: p.z_score, reverse=True)
+    top = ranked[: len(planted)]
+    hits = sum(frozenset((p.first, p.second)) in planted for p in top)
+    rows = [
+        [
+            p.first,
+            p.second,
+            f"{p.z_score:.2f}",
+            "planted" if frozenset((p.first, p.second)) in planted else "",
+        ]
+        for p in ranked[:12]
+    ]
+    publish(
+        "scenario_copiers",
+        format_table(
+            ["first", "second", "z", "clique"],
+            rows,
+            title=f"Copier detection: {hits}/{len(planted)} planted pairs in top-{len(planted)}",
+        ),
+    )
+    assert hits >= int(0.75 * len(planted))
+
+
+def test_scenario_open_world_stream(benchmark):
+    # heterogeneous reliabilities: learned trust weighting must beat the
+    # unweighted majority vote once feedback separates good from bad
+    scn = open_world_scenario(
+        n_sources=14,
+        initial_objects=SCALE["objects_per_step"] * 2,
+        new_objects_per_step=5,
+        n_steps=SCALE["n_steps"],
+        growth_rate=0.3,
+        accuracy=0.52,
+        accuracy_spread=0.3,
+        claim_rate=0.25,
+        initial_domain=3,
+        reveal_fraction=0.4,
+        seed=11,
+    )
+
+    def run():
+        return scenario(scn, methods=("stream-flat", "majority"), eval_window=5)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("scenario_open_world", report.table())
+    assert report.series["stream-flat"].final_accuracy > report.series["majority"].final_accuracy

@@ -159,6 +159,27 @@ def main(argv=None) -> int:
 
     step("figure8", figure8_step)
 
+    def scenario_step() -> None:
+        from repro.data import drift_scenario
+        from repro.experiments import scenario
+        from repro.extensions import DecayConfig
+
+        scn = drift_scenario(
+            n_sources=14,
+            objects_per_step=14 if args.full else 8,
+            n_steps=40 if args.full else 14,
+            seed=11,
+        )
+        report = scenario(
+            scn,
+            methods=("stream-flat", "stream-decayed", "stream-windowed", "batch-em", "majority"),
+            decay=DecayConfig(half_life=scn.n_observations / (8 * scn.n_sources)),
+            eval_window=4,
+        )
+        publish("scenario_drift", report.table())
+
+    step("scenario drift", scenario_step)
+
     print(
         f"done in {time.perf_counter() - started:.0f}s; artifacts in {RESULTS_DIR}",
         file=sys.stderr,

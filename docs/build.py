@@ -42,10 +42,14 @@ SOURCES = [
     DOCS / "api.md",
     DOCS / "performance.md",
     DOCS / "serving.md",
+    DOCS / "scenarios.md",
 ]
 
 #: Example scripts executed (like code blocks) in --check mode.
-EXAMPLE_SCRIPTS = [ROOT / "examples" / "serve_demo.py"]
+EXAMPLE_SCRIPTS = [
+    ROOT / "examples" / "serve_demo.py",
+    ROOT / "examples" / "scenario_drift.py",
+]
 
 #: Modules whose *entire* public surface (``__all__``) must be named in
 #: the docs — the inverse of symbol validation: not "everything written

@@ -1,0 +1,39 @@
+"""Drift scenarios: flat vs decayed vs re-anchored streaming trust.
+
+Generates a step-drift workload with ``repro.data.drift_scenario`` (half
+the sources are trusted-then-broken, half mediocre-but-stable), replays
+it through ``repro.experiments.scenario`` under three streaming trust
+policies plus the batch baselines, and prints the figure-style report:
+flat Beta counts keep trusting the broken sources, while a decay
+half-life (or sliding effective-sample-size window) forgets the stale
+evidence and tracks the new regime.
+
+Run:  PYTHONPATH=src python examples/scenario_drift.py
+"""
+
+from repro.data import drift_scenario
+from repro.experiments import scenario
+from repro.extensions import DecayConfig
+
+scn = drift_scenario(n_sources=12, objects_per_step=10, n_steps=16, seed=7)
+report = scenario(
+    scn,
+    methods=("stream-flat", "stream-decayed", "stream-windowed", "batch-em", "majority"),
+    decay=DecayConfig(half_life=15.0),
+    window_decay=DecayConfig(window=30.0),
+    eval_window=4,
+)
+
+print(report.table())
+print()
+flat = report.series["stream-flat"]
+decayed = report.series["stream-decayed"]
+print(
+    f"post-drift trailing accuracy: decayed {decayed.tail()['accuracy']:.3f} "
+    f"vs flat {flat.tail()['accuracy']:.3f}"
+)
+print(f"best method by final held-out accuracy: {report.best()}")
+
+assert decayed.tail()["accuracy"] > flat.tail()["accuracy"], (
+    "decayed trust should track the step drift"
+)

@@ -1,9 +1,20 @@
-"""Workload generators: synthetic instances and paper-dataset simulators."""
+"""Workload generators: synthetic instances, paper-dataset simulators, and
+timed adversarial/drifting/correlated scenario streams."""
 
 from .crowd import generate_crowd
 from .demos import generate_demos
 from .genomics import generate_genomics
 from .io import load_dataset, save_dataset
+from .scenarios import (
+    DriftSchedule,
+    Scenario,
+    ScenarioStep,
+    copier_clique_scenario,
+    default_drift_schedules,
+    drift_scenario,
+    open_world_scenario,
+)
+from .simulators import SeedLike, as_generator, spawn_generators
 from .stocks import generate_stocks
 from .synthetic import SyntheticConfig, SyntheticInstance, generate
 
@@ -17,4 +28,14 @@ __all__ = [
     "generate_genomics",
     "load_dataset",
     "save_dataset",
+    "SeedLike",
+    "as_generator",
+    "spawn_generators",
+    "DriftSchedule",
+    "Scenario",
+    "ScenarioStep",
+    "default_drift_schedules",
+    "drift_scenario",
+    "copier_clique_scenario",
+    "open_world_scenario",
 ]

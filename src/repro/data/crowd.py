@@ -28,6 +28,8 @@ import numpy as np
 from ..fusion.dataset import FusionDataset
 from ..fusion.types import Observation
 from .simulators import (
+    SeedLike,
+    as_generator,
     draw_claims,
     ensure_truth_claimed,
     feature_driven_accuracies,
@@ -62,7 +64,7 @@ def generate_crowd(
     panel_size: int = 20,
     avg_accuracy: float = 0.54,
     neutral_bias: float = 0.5,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> FusionDataset:
     """Generate the simulated Crowd dataset.
 
@@ -70,7 +72,7 @@ def generate_crowd(
     on "neutral" (when it is not the truth) rather than a uniform wrong
     class.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
 
     channel_names = list(CHANNELS)
     worker_channel = [

@@ -27,6 +27,8 @@ import numpy as np
 from ..fusion.dataset import FusionDataset
 from ..fusion.types import Observation
 from .simulators import (
+    SeedLike,
+    as_generator,
     draw_claims,
     ensure_truth_claimed,
     feature_driven_accuracies,
@@ -54,14 +56,14 @@ def generate_demos(
     n_copy_groups: int = 40,
     copy_group_size: int = 6,
     copy_fidelity: float = 0.92,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> FusionDataset:
     """Generate the simulated Demonstrations dataset.
 
     Roughly ``n_copy_groups * (copy_group_size - 1)`` sources are followers
     whose claims mirror their leader's — correlated errors included.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
 
     raw = {name: rng.lognormal(sigma=1.0, size=n_sources) for name in FEATURE_EFFECTS}
     levels = {name: quantile_levels(values, N_LEVELS) for name, values in raw.items()}

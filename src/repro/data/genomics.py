@@ -30,7 +30,12 @@ import numpy as np
 
 from ..fusion.dataset import FusionDataset
 from ..fusion.types import Observation
-from .simulators import ensure_truth_claimed, feature_driven_accuracies
+from .simulators import (
+    SeedLike,
+    as_generator,
+    ensure_truth_claimed,
+    feature_driven_accuracies,
+)
 
 STUDY_TYPES: Dict[str, float] = {
     "knockout": 0.9,
@@ -53,10 +58,10 @@ def generate_genomics(
     mean_claims_per_source: float = 1.11,
     avg_accuracy: float = 0.62,
     n_authors: int = 1500,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> FusionDataset:
     """Generate the simulated Genomics dataset."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
 
     study = [list(STUDY_TYPES)[int(rng.integers(len(STUDY_TYPES)))] for _ in range(n_sources)]
     journal = [list(JOURNAL_TIERS)[int(rng.integers(len(JOURNAL_TIERS)))] for _ in range(n_sources)]

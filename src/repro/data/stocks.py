@@ -28,6 +28,8 @@ import numpy as np
 from ..fusion.dataset import FusionDataset
 from ..fusion.types import Observation
 from .simulators import (
+    SeedLike,
+    as_generator,
     bernoulli_pairs,
     ensure_truth_claimed,
     feature_driven_accuracies,
@@ -57,7 +59,7 @@ def generate_stocks(
     stale_bias: float = 0.8,
     hard_fraction: float = 0.10,
     hard_accuracy: float = 0.30,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> FusionDataset:
     """Generate the simulated Stocks dataset.
 
@@ -75,7 +77,7 @@ def generate_stocks(
 
     Parameters mirror Table 1; reduce ``n_objects`` for faster tests.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
 
     # Raw numeric metadata, then decile discretization.
     raw = {name: rng.lognormal(mean=0.0, sigma=1.0, size=n_sources) for name in FEATURE_EFFECTS}

@@ -28,6 +28,7 @@ import numpy as np
 from ..fusion.dataset import FusionDataset
 from ..fusion.types import DatasetError, Observation
 from ..optim.numerics import sigmoid
+from .simulators import SeedLike, as_generator
 
 
 @dataclass
@@ -76,7 +77,7 @@ class SyntheticConfig:
     min_observations: int = 1
     feature_prefix: str = "f"
     name: str = "synthetic"
-    seed: int = 0
+    seed: SeedLike = 0
 
     def validate(self) -> None:
         if self.n_sources < 1 or self.n_objects < 1:
@@ -135,7 +136,7 @@ def generate(config: Optional[SyntheticConfig] = None, **overrides: object) -> S
     elif overrides:
         config = SyntheticConfig(**{**config.__dict__, **overrides})
     config.validate()
-    rng = np.random.default_rng(config.seed)
+    rng = as_generator(config.seed)
 
     accuracies, features, weights = _source_accuracies(config, rng)
 

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..data.scenarios import Scenario
 from ..fusion.dataset import FusionDataset
 from ..fusion.metrics import dataset_source_accuracy_error
+from ..fusion.types import ObjectId, Value
 from .methods import get_method
 
 
@@ -200,3 +202,248 @@ def best_method_per_cell(
         if group not in best or stats.object_accuracy > best[group][1]:
             best[group] = (key.method, stats.object_accuracy)
     return {group: method for group, (method, _) in best.items()}
+
+
+# ----------------------------------------------------------------------
+# Scenario replay driver (drifting / adversarial / open-world streams)
+# ----------------------------------------------------------------------
+
+#: Streaming arms understood by :func:`scenario` and their trust policy.
+SCENARIO_STREAM_METHODS = ("stream-flat", "stream-decayed", "stream-windowed", "stream-refit")
+
+#: Batch arms and the registry method each one runs on the accumulated stream.
+SCENARIO_BATCH_METHODS: Dict[str, str] = {"batch-em": "slimfast", "majority": "majority"}
+
+
+@dataclass
+class ScenarioSeries:
+    """One method's trajectory through a scenario replay.
+
+    ``accuracy[i]`` is MAP accuracy over the held-out objects of the
+    trailing evaluation window at checkpoint ``steps[i]``;
+    ``trust_error[i]`` is the mean absolute gap between estimated and
+    *current* true source accuracies (NaN when the method estimates
+    none).  ``final_accuracy`` scores every held-out object of the whole
+    stream at the end.
+    """
+
+    method: str
+    steps: List[int]
+    times: List[float]
+    accuracy: List[float]
+    trust_error: List[float]
+    final_accuracy: float
+    runtime_seconds: float
+
+    def tail(self) -> Dict[str, float]:
+        """The last checkpoint's numbers (the post-drift regime)."""
+        return {
+            "accuracy": self.accuracy[-1] if self.accuracy else float("nan"),
+            "trust_error": self.trust_error[-1] if self.trust_error else float("nan"),
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """Figure-style accuracy-vs-baselines report for one scenario replay."""
+
+    scenario: str
+    series: Dict[str, ScenarioSeries]
+    eval_window: int
+    n_steps: int
+    n_observations: int
+
+    def best(self) -> str:
+        """Method with the best final held-out accuracy."""
+        return max(self.series.values(), key=lambda s: s.final_accuracy).method
+
+    def table(self) -> str:
+        """Render the summary comparison as a fixed-width table."""
+        from .reporting import format_table
+
+        rows = []
+        for name in self.series:
+            s = self.series[name]
+            tail = s.tail()
+            rows.append(
+                [
+                    name,
+                    f"{s.final_accuracy:.3f}",
+                    f"{tail['accuracy']:.3f}",
+                    f"{tail['trust_error']:.3f}",
+                    f"{s.runtime_seconds:.2f}",
+                ]
+            )
+        return format_table(
+            ["method", "final acc", "tail acc", "tail trust err", "seconds"],
+            rows,
+            title=f"Scenario '{self.scenario}' ({self.n_steps} steps, "
+            f"{self.n_observations} observations, window={self.eval_window})",
+        )
+
+
+def _value_accuracy(
+    value_of: Callable[[ObjectId], Optional[Value]],
+    truth: Dict[ObjectId, Value],
+    objects: Sequence[ObjectId],
+) -> float:
+    if not objects:
+        return float("nan")
+    correct = sum(1 for obj in objects if value_of(obj) == truth[obj])
+    return correct / len(objects)
+
+
+def _trust_error(estimated: Optional[Dict], scn: Scenario, step: int) -> float:
+    if not estimated:
+        return float("nan")
+    errors = [
+        abs(float(estimated[source]) - float(scn.true_accuracy[step, i]))
+        for i, source in enumerate(scn.source_ids)
+        if source in estimated
+    ]
+    return float(np.mean(errors)) if errors else float("nan")
+
+
+def scenario(
+    scn: Scenario,
+    methods: Sequence[str] = (
+        "stream-flat",
+        "stream-decayed",
+        "stream-windowed",
+        "stream-refit",
+        "batch-em",
+        "majority",
+    ),
+    decay: Optional["DecayConfig"] = None,
+    window_decay: Optional["DecayConfig"] = None,
+    refit_every: Optional[int] = None,
+    refit_overrides: Optional[Dict[str, object]] = None,
+    eval_window: int = 5,
+    checkpoint_every: int = 1,
+    self_training: bool = False,
+) -> ScenarioReport:
+    """Replay a :class:`~repro.data.scenarios.Scenario` across fusion arms.
+
+    Streaming arms ingest the stream step by step (each step's batch,
+    then its truth reveals) and are scored at every checkpoint on the
+    trailing ``eval_window`` steps' held-out objects — so a regime change
+    shows up as a dip whose depth depends on the arm's trust policy:
+
+    * ``"stream-flat"`` — plain Beta counts (all history weighted equally);
+    * ``"stream-decayed"`` — ``trust_decay=DecayConfig(half_life=...)``
+      exponential forgetting (default half-life: an eighth of the
+      per-source observation volume);
+    * ``"stream-windowed"`` — ``trust_decay=DecayConfig(window=...)``
+      effective-sample-size cap (default: a quarter of the per-source
+      volume);
+    * ``"stream-refit"`` — flat counts re-anchored by periodic
+      warm-started EM re-fits (``refit_every``, default four per stream).
+
+    Batch arms (``"batch-em"`` — the full SLiMFast fit — and
+    ``"majority"``) fit once on the accumulated stream with the revealed
+    truth and are scored on the same checkpoints with their final values,
+    showing what a static model can and cannot track.  The differential
+    pins over this report (decay=1.0 equals flat, decayed beats flat on
+    step drift) live in ``tests/scenarios/``.
+    """
+    from ..extensions.streaming import DecayConfig, StreamingFuser
+
+    unknown = [
+        m
+        for m in methods
+        if m not in SCENARIO_STREAM_METHODS and m not in SCENARIO_BATCH_METHODS
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown scenario methods {unknown}; expected stream arms "
+            f"{SCENARIO_STREAM_METHODS} or batch arms {tuple(SCENARIO_BATCH_METHODS)}"
+        )
+    per_source = scn.n_observations / max(scn.n_sources, 1)
+    if decay is None:
+        decay = DecayConfig(half_life=max(per_source / 8.0, 4.0))
+    if window_decay is None:
+        window_decay = DecayConfig(window=max(per_source / 4.0, 8.0))
+    if refit_every is None:
+        refit_every = max(scn.n_observations // 4, 1)
+    if refit_overrides is None:
+        refit_overrides = {"max_iterations": 10}
+
+    checkpoints = [
+        s for s in range(scn.n_steps) if (s + 1) % checkpoint_every == 0 or s == scn.n_steps - 1
+    ]
+    checkpoint_set = set(checkpoints)
+    eval_sets = {s: scn.eval_objects(at_step=s, window=eval_window) for s in checkpoints}
+    all_eval = scn.eval_objects()
+
+    stream_configs: Dict[str, Dict[str, object]] = {
+        "stream-flat": {},
+        "stream-decayed": {"trust_decay": decay},
+        "stream-windowed": {"trust_decay": window_decay},
+        "stream-refit": {"refit_every": refit_every, "refit_overrides": refit_overrides},
+    }
+
+    series: Dict[str, ScenarioSeries] = {}
+    for method in methods:
+        if method in SCENARIO_BATCH_METHODS:
+            continue
+        fuser = StreamingFuser(self_training=self_training, **stream_configs[method])
+        started = time.perf_counter()
+        steps_out: List[int] = []
+        times: List[float] = []
+        accuracy: List[float] = []
+        trust_error: List[float] = []
+        for step in scn.steps:
+            if step.observations:
+                fuser.observe_batch(step.observations)
+            for obj, value in step.reveal.items():
+                fuser.reveal_truth(obj, value)
+            if step.index in checkpoint_set:
+                steps_out.append(step.index)
+                times.append(step.time)
+                accuracy.append(
+                    _value_accuracy(fuser.current_value, scn.truth, eval_sets[step.index])
+                )
+                trust_error.append(_trust_error(fuser.source_accuracies(), scn, step.index))
+        runtime = time.perf_counter() - started
+        series[method] = ScenarioSeries(
+            method=method,
+            steps=steps_out,
+            times=times,
+            accuracy=accuracy,
+            trust_error=trust_error,
+            final_accuracy=_value_accuracy(fuser.current_value, scn.truth, all_eval),
+            runtime_seconds=runtime,
+        )
+
+    batch_methods = [m for m in methods if m in SCENARIO_BATCH_METHODS]
+    if batch_methods:
+        dataset = scn.to_dataset()
+        revealed = scn.revealed_truth()
+        for method in batch_methods:
+            runner = get_method(SCENARIO_BATCH_METHODS[method])
+            started = time.perf_counter()
+            result = runner(dataset, revealed)
+            runtime = time.perf_counter() - started
+            value_of = result.values.get
+            series[method] = ScenarioSeries(
+                method=method,
+                steps=list(checkpoints),
+                times=[scn.steps[s].time for s in checkpoints],
+                accuracy=[
+                    _value_accuracy(value_of, scn.truth, eval_sets[s]) for s in checkpoints
+                ],
+                trust_error=[
+                    _trust_error(result.source_accuracies, scn, s) for s in checkpoints
+                ],
+                final_accuracy=_value_accuracy(value_of, scn.truth, all_eval),
+                runtime_seconds=runtime,
+            )
+    # Preserve the caller's method order in the report.
+    ordered = {name: series[name] for name in methods}
+    return ScenarioReport(
+        scenario=scn.name,
+        series=ordered,
+        eval_window=eval_window,
+        n_steps=scn.n_steps,
+        n_observations=scn.n_observations,
+    )

@@ -36,9 +36,10 @@ from .selection import (
     leave_one_out_impacts,
     rank_sources,
 )
-from .streaming import StreamingFuser, replay_dataset
+from .streaming import DecayConfig, StreamingFuser, replay_dataset
 
 __all__ = [
+    "DecayConfig",
     "UNKNOWN",
     "OpenWorldSLiMFast",
     "OpenWorldResult",

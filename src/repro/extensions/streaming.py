@@ -62,6 +62,58 @@ from ..fusion.types import ObjectId, Observation, SourceId, Value
 from ..optim.numerics import logit
 
 
+@dataclass(frozen=True)
+class DecayConfig:
+    """Trust-forgetting policy for the streaming Beta-count vectors.
+
+    Flat Beta counts weight a source's entire history equally, so after a
+    regime change (see :func:`repro.data.scenarios.drift_scenario`) the
+    stale evidence dominates forever.  A ``DecayConfig`` bounds that
+    memory two ways — pass **at most one** of:
+
+    half_life:
+        Exponential forgetting: a source's pseudo-counts are halved every
+        ``half_life`` observations *that source* makes (activity-based
+        time, matching the legacy per-observation ``decay`` parameter:
+        ``half_life=h`` is exactly ``decay=2**(-1/h)``).
+    window:
+        Sliding-window forgetting via an effective-sample-size cap:
+        whenever a source's total pseudo-count exceeds ``window``, both
+        counts are rescaled so the total equals ``window``.  Until the cap
+        is reached this is *bit-identical* to flat counting; once
+        saturated, each new feedback unit displaces ``1/window`` of the
+        accumulated history (the O(1)-per-source rescaling approximation
+        of a true last-``window``-updates window).
+
+    ``DecayConfig()`` (neither set) is flat counting and is bit-identical
+    to a fuser constructed without any decay — pinned in
+    ``tests/scenarios/test_decay_differential.py``.
+    """
+
+    half_life: Optional[float] = None
+    window: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.half_life is not None and self.window is not None:
+            raise ValueError("pass at most one of half_life and window")
+        if self.half_life is not None and not self.half_life > 0.0:
+            raise ValueError("half_life must be positive")
+        if self.window is not None and not self.window > 0.0:
+            raise ValueError("window must be positive")
+
+    @property
+    def is_flat(self) -> bool:
+        """True when this config disables forgetting entirely."""
+        return self.half_life is None and self.window is None
+
+    @property
+    def factor(self) -> float:
+        """Per-observation multiplicative decay implied by ``half_life``."""
+        if self.half_life is None:
+            return 1.0
+        return float(2.0 ** (-1.0 / self.half_life))
+
+
 @dataclass
 class _SourceState:
     """Beta-posterior correctness state of one source (reference engine)."""
@@ -116,7 +168,16 @@ class _ReferenceEngine:
             confidence = self.posterior(obj).get(value, 0.0)
             state.correct += confidence
             state.total += 1.0
+        self._apply_window(state)
         self.n_processed += 1
+
+    def _apply_window(self, state: _SourceState) -> None:
+        """Cap the effective sample size at the configured trust window."""
+        window = self._config.trust_window
+        if window is not None and state.total > window:
+            scale = window / state.total
+            state.correct *= scale
+            state.total *= scale
 
     def observe_batch(self, observations: Sequence[Observation]) -> None:
         for observation in observations:
@@ -131,6 +192,7 @@ class _ReferenceEngine:
             state = self._state(source)
             state.correct += 1.0 if claimed == value else 0.0
             state.total += 1.0
+            self._apply_window(state)
 
     # ------------------------------------------------------------------
     def posterior(self, obj: ObjectId) -> Dict[Value, float]:
@@ -332,6 +394,7 @@ class _VectorizedEngine:
             confidence = self._batch_confidence(o_idx[unlabeled], v_code[unlabeled])
             np.add.at(self._correct, s_idx[unlabeled], confidence)
             np.add.at(self._total, s_idx[unlabeled], 1.0)
+        self._apply_window(batch_sources)
 
         self.n_processed += len(batch)
         if (
@@ -396,6 +459,22 @@ class _VectorizedEngine:
         )
         np.add.at(self._correct, claim_sources, matched)
         np.add.at(self._total, claim_sources, 1.0)
+        self._apply_window(claim_sources)
+
+    def _apply_window(self, source_idx: np.ndarray) -> None:
+        """Cap the touched sources' effective sample size at the window.
+
+        ``min(1, window / total)`` leaves under-cap sources bit-identical
+        (``x * 1.0 == x``) and rescales saturated ones with the same two
+        float operations as the reference engine, so size-1 batches stay
+        exactly equivalent.
+        """
+        window = self._config.trust_window
+        if window is None:
+            return
+        scale = np.minimum(1.0, window / self._total[source_idx])
+        self._correct[source_idx] = self._correct[source_idx] * scale
+        self._total[source_idx] = self._total[source_idx] * scale
 
     # ------------------------------------------------------------------
     # Queries
@@ -512,7 +591,17 @@ class StreamingFuser:
         the batch EM uses.
     decay:
         Multiplicative decay applied to a source's counts per processed
-        observation it makes; ``1.0`` disables drift tracking.
+        observation it makes; ``1.0`` disables drift tracking.  Prefer
+        the equivalent but self-documenting
+        ``trust_decay=DecayConfig(half_life=...)`` spelling.
+    trust_decay:
+        A :class:`DecayConfig` bounding trust memory so re-anchoring can
+        track accuracy drift: ``half_life=h`` is exponential forgetting
+        (identical to ``decay=2**(-1/h)``), ``window=w`` caps each
+        source's effective sample size at ``w`` pseudo-counts.
+        ``DecayConfig()`` — and equivalently ``decay=1.0`` — is
+        bit-identical to flat counting.  Mutually exclusive with a
+        non-default ``decay``.
     self_training:
         When True, observations on unlabeled objects update their source's
         counts with the current fused estimate (weighted by its posterior
@@ -545,11 +634,23 @@ class StreamingFuser:
         source_features: Optional[Mapping[SourceId, Mapping[str, object]]] = None,
         refit_every: Optional[int] = None,
         refit_overrides: Optional[Dict[str, object]] = None,
+        trust_decay: Optional[DecayConfig] = None,
     ) -> None:
         if not 0.0 < decay <= 1.0:
             raise ValueError("decay must be in (0, 1]")
         if prior_total <= 0 or prior_correct <= 0 or prior_correct >= prior_total:
             raise ValueError("priors must satisfy 0 < correct < total")
+        if trust_decay is not None:
+            if decay != 1.0:
+                raise ValueError(
+                    "pass either the legacy decay factor or trust_decay, not both"
+                )
+            if trust_decay.window is not None and trust_decay.window < prior_total:
+                raise ValueError(
+                    "trust_decay.window must be at least prior_total "
+                    "(the prior pseudo-counts must fit inside the window)"
+                )
+            decay = trust_decay.factor
         check_backend(backend)
         if refit_every is not None and refit_every <= 0:
             raise ValueError("refit_every must be a positive observation count")
@@ -563,6 +664,8 @@ class StreamingFuser:
         self.prior_correct = prior_correct
         self.prior_total = prior_total
         self.decay = decay
+        self.trust_decay = trust_decay
+        self.trust_window = trust_decay.window if trust_decay is not None else None
         self.self_training = self_training
         self.backend = backend
         self.source_features = source_features

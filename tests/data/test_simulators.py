@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.data import (
+    as_generator,
     generate_crowd,
     generate_demos,
     generate_genomics,
     generate_stocks,
+    spawn_generators,
 )
 
 
@@ -143,3 +145,72 @@ class TestGenomics:
     def test_author_long_tail(self, genomics):
         authors = {genomics.source_features[s]["author"] for s in genomics.sources}
         assert len(authors) > 500
+
+
+class TestRngPlumbing:
+    """Generators accept np.random.Generator seeds (see data.simulators)."""
+
+    def test_generator_seed_matches_int_seed(self):
+        by_int = generate_stocks(seed=3)
+        by_gen = generate_stocks(seed=np.random.default_rng(3))
+        assert by_int.observations == by_gen.observations
+        assert by_int.true_accuracies == by_gen.true_accuracies
+
+    def test_live_generator_advances_state(self):
+        rng = np.random.default_rng(0)
+        first = generate_crowd(seed=rng)
+        second = generate_crowd(seed=rng)
+        assert first.observations != second.observations
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(42)
+        a = generate_demos(seed=np.random.SeedSequence(42))
+        b = generate_demos(seed=ss)
+        assert a.observations == b.observations
+
+    def test_legacy_random_state_rejected(self):
+        with pytest.raises(TypeError, match="RandomState"):
+            as_generator(np.random.RandomState(0))
+        with pytest.raises(TypeError):
+            as_generator(0.5)
+
+    def test_spawn_generators_independent_and_deterministic(self):
+        """The documented fork/spawn contract: children are reproducible."""
+        first = spawn_generators(7, 3)
+        second = spawn_generators(7, 3)
+        assert len(first) == 3
+        draws_first = [g.random(4).tolist() for g in first]
+        draws_second = [g.random(4).tolist() for g in second]
+        assert draws_first == draws_second
+        # distinct child streams
+        assert draws_first[0] != draws_first[1] != draws_first[2]
+
+    def test_spawned_child_reproducible_across_process_boundary(self):
+        """A worker process re-deriving child 1 of seed 7 sees the parent's stream."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        code = (
+            "from repro.data import spawn_generators; "
+            "print(repr(spawn_generators(7, 3)[1].random(4).tolist()))"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True, check=True
+        )
+        assert child.stdout.strip() == repr(spawn_generators(7, 3)[1].random(4).tolist())
+
+    @pytest.mark.parametrize(
+        "generator", [generate_stocks, generate_demos, generate_crowd, generate_genomics]
+    )
+    def test_all_simulators_accept_generator_seeds(self, generator):
+        dataset = generator(seed=np.random.default_rng(1))
+        assert dataset.n_observations > 0

@@ -188,3 +188,66 @@ class TestReplayDataset:
         acc_a = object_value_accuracy(a.values, small_dataset.ground_truth, split.test_objects)
         acc_b = object_value_accuracy(b.values, small_dataset.ground_truth, split.test_objects)
         assert abs(acc_a - acc_b) < 0.15
+
+
+class TestRefitReanchorsUnderDrift:
+    """A post-drift re-fit pulls the accuracy vector toward the new regime."""
+
+    def _scenario(self):
+        from repro.data import DriftSchedule, drift_scenario
+
+        schedules = [DriftSchedule.step(0.95, 0.05, at=0.5) for _ in range(3)]
+        schedules += [DriftSchedule.constant(0.7) for _ in range(5)]
+        return drift_scenario(
+            n_sources=8,
+            objects_per_step=10,
+            n_steps=12,
+            schedules=schedules,
+            reveal_fraction=0.6,
+            seed=4,
+        )
+
+    def _replay(self, fuser, steps):
+        for step in steps:
+            fuser.observe_batch(step.observations)
+            for obj, value in step.reveal.items():
+                fuser.reveal_truth(obj, value)
+
+    def test_explicit_refit_after_drift(self):
+        scn = self._scenario()
+        half = scn.n_steps // 2
+        fuser = StreamingFuser(self_training=False, refit_overrides={"max_iterations": 15})
+        self._replay(fuser, scn.steps[:half])
+        pre_drift = fuser.source_accuracies()
+        assert pre_drift["s0"] > 0.85  # drifter looks great before the step
+
+        self._replay(fuser, scn.steps[half:])
+        eval_objects = scn.eval_objects(at_step=scn.n_steps - 1, window=half)
+
+        def held_out_accuracy():
+            hits = [fuser.current_value(o) == scn.truth[o] for o in eval_objects]
+            return float(np.mean(hits))
+
+        acc_before = held_out_accuracy()
+        fuser.refit()
+        refit = fuser.source_accuracies()
+
+        # the drifted source's estimate drops far below its pre-drift level...
+        assert refit["s0"] < pre_drift["s0"] - 0.3
+        # ...the stable source overtakes it...
+        assert refit["s5"] > refit["s0"]
+        assert abs(refit["s5"] - 0.7) < 0.15
+        # ...and the rebuilt score table fixes post-drift fused values.
+        assert held_out_accuracy() > acc_before
+
+    def test_periodic_refit_tracks_drift_automatically(self):
+        scn = self._scenario()
+        auto = StreamingFuser(
+            self_training=False,
+            refit_every=max(scn.n_observations // 3, 1),
+            refit_overrides={"max_iterations": 10},
+        )
+        self._replay(auto, scn.steps)
+        assert auto.n_refits >= 2
+        accs = auto.source_accuracies()
+        assert accs["s5"] > accs["s0"]

@@ -1,0 +1,97 @@
+"""Copier-clique scenarios vs the copying detector in :mod:`repro.core.copying`.
+
+The generator plants leader+copier cliques; the detector — written long
+before the generator — must recover exactly those pairs. This is a
+differential check in both directions: planted structure is found, and
+honest sources are not implicated.
+"""
+
+import pytest
+
+from repro.core import CopyingSLiMFast, find_candidate_pairs
+from repro.data import copier_clique_scenario
+
+
+@pytest.fixture(scope="module")
+def scn():
+    return copier_clique_scenario(
+        n_sources=18,
+        n_cliques=2,
+        clique_size=4,
+        copy_rate=0.92,
+        leader_accuracy=0.5,
+        honest_accuracy=0.78,
+        objects_per_step=14,
+        n_steps=10,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def pairs(scn):
+    return find_candidate_pairs(scn.to_dataset(), z_threshold=2.0)
+
+
+def _intra_clique(scn):
+    """All unordered source pairs inside any planted clique."""
+    planted = set()
+    for clique in scn.cliques:
+        for i, a in enumerate(clique):
+            for b in clique[i + 1 :]:
+                planted.add(frozenset((a, b)))
+    return planted
+
+
+class TestDetectionParity:
+    def test_every_copier_is_flagged(self, scn, pairs):
+        """Each copier appears in at least one strong pair with a clique mate."""
+        flagged = {frozenset((p.first, p.second)) for p in pairs}
+        for clique in scn.cliques:
+            leader, copiers = clique[0], clique[1:]
+            for copier in copiers:
+                mates = {leader, *(c for c in copiers if c != copier)}
+                assert any(
+                    frozenset((copier, mate)) in flagged for mate in mates
+                ), f"{copier} not linked to clique of {leader}"
+
+    def test_planted_pairs_separate_from_honest_agreement(self, scn):
+        """Copier z-scores clearly exceed honest truth-driven agreement.
+
+        Honest accurate sources agree through the truth, so some clear a
+        fixed z threshold — the parity claim is separation: every planted
+        pair out-scores the typical honest pair by a wide margin.
+        """
+        all_pairs = find_candidate_pairs(scn.to_dataset(), z_threshold=0.0, max_pairs=500)
+        planted = _intra_clique(scn)
+        planted_z = [p.z_score for p in all_pairs if frozenset((p.first, p.second)) in planted]
+        honest_z = [p.z_score for p in all_pairs if frozenset((p.first, p.second)) not in planted]
+        assert len(planted_z) == len(planted)
+        mean_honest = sum(honest_z) / len(honest_z)
+        assert min(planted_z) > mean_honest + 2.0
+        assert sum(planted_z) / len(planted_z) > 2.0 * max(mean_honest, 1.0)
+
+    def test_planted_pairs_score_higher(self, scn):
+        """Ranking parity: planted pairs dominate the z-score ordering."""
+        all_pairs = find_candidate_pairs(scn.to_dataset(), z_threshold=0.0, max_pairs=500)
+        planted = _intra_clique(scn)
+        scored = sorted(all_pairs, key=lambda p: p.z_score, reverse=True)
+        top = scored[: len(planted)]
+        hits = sum(frozenset((p.first, p.second)) in planted for p in top)
+        assert hits >= int(0.8 * len(planted))
+
+
+class TestCopyingModelParity:
+    def test_pair_weights_concentrate_on_planted_pairs(self, scn):
+        dataset = scn.to_dataset()
+        model = CopyingSLiMFast(z_threshold=1.0).fit(dataset, scn.revealed_truth())
+        planted = _intra_clique(scn)
+        planted_w, other_w = [], []
+        for pair, weight in zip(model.pairs_, model.pair_weights_):
+            (planted_w if frozenset((pair.first, pair.second)) in planted else other_w).append(
+                weight
+            )
+        assert planted_w, "no planted pair survived candidate selection"
+        mean_planted = sum(planted_w) / len(planted_w)
+        mean_other = sum(other_w) / len(other_w) if other_w else 0.0
+        assert mean_planted > 5 * mean_other
+        assert mean_planted > 0.01

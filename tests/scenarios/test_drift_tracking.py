@@ -1,0 +1,124 @@
+"""Drift tracking through :func:`repro.experiments.scenario`.
+
+Pins the headline qualitative claim: on a step-drift workload, decayed
+trust strictly beats flat Beta counts on trailing-window accuracy, and a
+post-drift re-fit re-anchors the accuracy vector toward the new regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DriftSchedule, default_drift_schedules, drift_scenario
+from repro.experiments import scenario as run_scenario
+from repro.extensions import DecayConfig
+
+
+def _step_drift(seed=5):
+    # half the sources collapse from 0.9 to 0.1 halfway through the stream
+    return drift_scenario(
+        n_sources=10,
+        objects_per_step=8,
+        n_steps=16,
+        schedules=default_drift_schedules(10, drift_start=0.9, drift_end=0.1),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_scenario(
+        _step_drift(),
+        methods=("stream-flat", "stream-decayed", "stream-windowed", "batch-em", "majority"),
+        decay=DecayConfig(half_life=12.0),
+        window_decay=DecayConfig(window=24.0),
+        eval_window=4,
+    )
+
+
+class TestScenarioReport:
+    def test_report_shape(self, report):
+        assert set(report.series) == {
+            "stream-flat",
+            "stream-decayed",
+            "stream-windowed",
+            "batch-em",
+            "majority",
+        }
+        for series in report.series.values():
+            assert len(series.steps) == len(series.accuracy) == len(series.trust_error)
+            assert series.steps[-1] == report.n_steps - 1
+        assert report.n_observations == _step_drift().n_observations
+
+    def test_table_and_best(self, report):
+        table = report.table()
+        assert "stream-decayed" in table and "final acc" in table
+        best_method = report.best()
+        assert report.series[best_method].final_accuracy == max(
+            s.final_accuracy for s in report.series.values()
+        )
+
+    def test_decayed_strictly_beats_flat_on_step_drift(self, report):
+        """The acceptance-criteria pin: decayed trust tracks the drift."""
+        flat = report.series["stream-flat"]
+        decayed = report.series["stream-decayed"]
+        windowed = report.series["stream-windowed"]
+        assert decayed.final_accuracy > flat.final_accuracy
+        assert decayed.tail()["accuracy"] > flat.tail()["accuracy"]
+        assert windowed.tail()["accuracy"] > flat.tail()["accuracy"]
+        # and it does so by tracking true accuracies more closely post-drift
+        assert decayed.trust_error[-1] < flat.trust_error[-1]
+
+    def test_flat_stream_and_batch_em_mislead_by_stale_trust(self, report):
+        """Flat counts average over the drift, so post-drift accuracy suffers."""
+        flat = report.series["stream-flat"]
+        decayed = report.series["stream-decayed"]
+        batch = report.series["batch-em"]
+        assert decayed.tail()["accuracy"] > batch.tail()["accuracy"]
+        # flat streaming should be no better than the decayed variant anywhere
+        # in the post-drift half
+        post = [i for i, s in enumerate(flat.steps) if s >= report.n_steps // 2 + 2]
+        flat_post = np.nanmean([flat.accuracy[i] for i in post])
+        decayed_post = np.nanmean([decayed.accuracy[i] for i in post])
+        assert decayed_post > flat_post
+
+
+class TestRefitArm:
+    def test_refit_arm_runs_and_reanchors(self):
+        scn = _step_drift(seed=9)
+        report = run_scenario(
+            scn,
+            methods=("stream-flat", "stream-refit"),
+            refit_every=scn.n_observations // 3,
+            refit_overrides={"max_iterations": 8},
+            eval_window=4,
+        )
+        refit = report.series["stream-refit"]
+        assert len(refit.accuracy) == len(report.series["stream-flat"].accuracy)
+        assert np.isfinite(refit.final_accuracy)
+
+
+class TestSinusoidalAndRamp:
+    @pytest.mark.slow
+    def test_decay_tracks_continuous_drift(self):
+        """Same ordering on the non-step drift kinds (long replay)."""
+        schedules = [DriftSchedule.ramp(0.95, 0.05) for _ in range(4)]
+        schedules += [DriftSchedule.sine(0.5, amplitude=0.45, cycles=1.0) for _ in range(3)]
+        schedules += [DriftSchedule.constant(0.65) for _ in range(5)]
+        scn = drift_scenario(
+            n_sources=12,
+            objects_per_step=10,
+            n_steps=30,
+            schedules=schedules,
+            name="continuous-drift",
+            seed=17,
+        )
+        report = run_scenario(
+            scn,
+            methods=("stream-flat", "stream-decayed"),
+            decay=DecayConfig(half_life=20.0),
+            eval_window=5,
+        )
+        flat = report.series["stream-flat"]
+        decayed = report.series["stream-decayed"]
+        assert decayed.tail()["accuracy"] >= flat.tail()["accuracy"]
+        assert decayed.trust_error[-1] < flat.trust_error[-1]

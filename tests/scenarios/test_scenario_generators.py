@@ -1,0 +1,208 @@
+"""Scenario generators: shapes, invariants, and seed determinism.
+
+The cross-process determinism contract (same int seed => same scenario in
+a fork or spawn worker) is pinned by regenerating a scenario in a fresh
+subprocess and comparing content digests.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import (
+    DriftSchedule,
+    copier_clique_scenario,
+    drift_scenario,
+    open_world_scenario,
+)
+from repro.fusion import DatasetError
+
+GENERATORS = {
+    "drift": lambda seed: drift_scenario(
+        n_sources=8, objects_per_step=6, n_steps=8, seed=seed
+    ),
+    "copier": lambda seed: copier_clique_scenario(
+        n_sources=12, n_cliques=2, clique_size=3, objects_per_step=8, n_steps=6, seed=seed
+    ),
+    "open-world": lambda seed: open_world_scenario(
+        n_sources=8, initial_objects=10, new_objects_per_step=3, n_steps=6, seed=seed
+    ),
+}
+
+
+def scenario_digest(scn) -> str:
+    """Content digest over the full stream, reveals, and latent state."""
+    lines = [scn.name]
+    for step in scn.steps:
+        for obs in step.observations:
+            lines.append(f"{step.index}|{obs.source}|{obs.obj}|{obs.value}")
+        for obj in sorted(step.reveal):
+            lines.append(f"reveal|{step.index}|{obj}|{step.reveal[obj]}")
+    for obj in sorted(scn.truth):
+        lines.append(f"truth|{obj}|{scn.truth[obj]}")
+    lines.append(np.array2string(scn.true_accuracy, precision=17))
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+class TestDriftSchedule:
+    def test_shapes(self):
+        step = DriftSchedule.step(0.9, 0.2, at=0.5)
+        assert step.accuracy(0.0) == pytest.approx(0.9)
+        assert step.accuracy(0.49) == pytest.approx(0.9)
+        assert step.accuracy(0.5) == pytest.approx(0.2)
+        ramp = DriftSchedule.ramp(0.2, 0.8)
+        assert ramp.accuracy(0.5) == pytest.approx(0.5)
+        sine = DriftSchedule.sine(0.6, amplitude=0.2, cycles=1.0)
+        assert sine.accuracy(0.25) == pytest.approx(0.8)
+        assert sine.accuracy(0.75) == pytest.approx(0.4)
+        assert DriftSchedule.constant(0.7).accuracy(0.9) == pytest.approx(0.7)
+
+    def test_clipping(self):
+        wild = DriftSchedule.sine(0.9, amplitude=0.5)
+        assert wild.accuracy(0.25) == pytest.approx(0.98)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown drift kind"):
+            DriftSchedule(kind="teleport")
+        with pytest.raises(ValueError, match="accuracy"):
+            DriftSchedule(kind="step", start=1.2)
+        with pytest.raises(ValueError, match="`at`"):
+            DriftSchedule(kind="step", at=1.5)
+
+
+class TestScenarioStructure:
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_stream_shape(self, kind):
+        scn = GENERATORS[kind](0)
+        assert scn.n_steps == len(scn.steps)
+        assert scn.n_observations == len(scn.observations())
+        assert scn.true_accuracy.shape == (scn.n_steps, scn.n_sources)
+        # every observed object has truth and a birth step
+        for obs in scn.observations():
+            assert obs.obj in scn.truth
+            assert obs.obj in scn.object_step
+        # reveals only name generated objects, after their birth step
+        for step in scn.steps:
+            for obj in step.reveal:
+                assert scn.object_step[obj] <= step.index
+                assert step.reveal[obj] == scn.truth[obj]
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_no_duplicate_claims(self, kind):
+        """Each (source, object) pair claims at most once across the stream."""
+        scn = GENERATORS[kind](1)
+        seen = set()
+        for obs in scn.observations():
+            key = (obs.source, obs.obj)
+            assert key not in seen
+            seen.add(key)
+
+    def test_eval_objects_windowing(self):
+        scn = GENERATORS["drift"](2)
+        revealed = scn.revealed_truth()
+        all_eval = scn.eval_objects()
+        assert all_eval and not (set(all_eval) & set(revealed))
+        tail = scn.eval_objects(at_step=scn.n_steps - 1, window=2)
+        assert set(tail) <= set(all_eval)
+        for obj in tail:
+            assert scn.object_step[obj] >= scn.n_steps - 2
+
+    def test_to_dataset_roundtrip(self):
+        scn = GENERATORS["drift"](3)
+        dataset = scn.to_dataset()
+        assert dataset.n_observations == scn.n_observations
+        assert dict(dataset.ground_truth) == scn.truth
+        # time-averaged true accuracies ride along for source-error metrics
+        assert set(dataset.true_accuracies) == set(scn.source_ids)
+
+    def test_copier_scenario_records_cliques(self):
+        scn = GENERATORS["copier"](4)
+        assert len(scn.cliques) == 2
+        assert all(len(clique) == 3 for clique in scn.cliques)
+        members = [s for clique in scn.cliques for s in clique]
+        assert len(set(members)) == len(members)
+
+    def test_open_world_domains_grow(self):
+        """Later batches introduce values absent from every earlier batch."""
+        scn = open_world_scenario(
+            n_sources=10,
+            initial_objects=12,
+            new_objects_per_step=2,
+            n_steps=10,
+            growth_rate=0.5,
+            claim_rate=0.3,
+            seed=5,
+        )
+        seen_values = {}
+        grew = False
+        for step in scn.steps:
+            for obs in step.observations:
+                first = seen_values.setdefault(obs.obj, (step.index, {obs.value}))
+                if step.index > first[0] and obs.value not in first[1]:
+                    grew = True
+                first[1].add(obs.value)
+        assert grew
+        # and the object universe itself grows
+        births = sorted(set(scn.object_step.values()))
+        assert len(births) > 1
+
+    def test_validation_errors(self):
+        with pytest.raises(DatasetError, match="DriftSchedule per source"):
+            drift_scenario(n_sources=4, schedules=[DriftSchedule.constant(0.7)])
+        with pytest.raises(DatasetError, match="n_steps"):
+            drift_scenario(n_steps=0)
+        with pytest.raises(DatasetError, match="clique_size"):
+            copier_clique_scenario(clique_size=1)
+        with pytest.raises(DatasetError, match="exceed n_sources"):
+            copier_clique_scenario(n_sources=4, n_cliques=2, clique_size=3)
+        with pytest.raises(DatasetError, match="initial_domain"):
+            open_world_scenario(initial_domain=1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_same_seed_same_stream(self, kind):
+        assert scenario_digest(GENERATORS[kind](7)) == scenario_digest(GENERATORS[kind](7))
+        assert scenario_digest(GENERATORS[kind](7)) != scenario_digest(GENERATORS[kind](8))
+
+    def test_generator_seed_matches_int_seed(self):
+        """as_generator(seed) is the entry point, so these must agree."""
+        by_int = drift_scenario(n_sources=6, objects_per_step=4, n_steps=5, seed=11)
+        by_gen = drift_scenario(
+            n_sources=6, objects_per_step=4, n_steps=5, seed=np.random.default_rng(11)
+        )
+        assert scenario_digest(by_int) == scenario_digest(by_gen)
+
+    def test_live_generator_advances(self):
+        rng = np.random.default_rng(0)
+        first = drift_scenario(n_sources=6, objects_per_step=4, n_steps=5, seed=rng)
+        second = drift_scenario(n_sources=6, objects_per_step=4, n_steps=5, seed=rng)
+        assert scenario_digest(first) != scenario_digest(second)
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_deterministic_across_process_boundary(self, kind):
+        """A fresh interpreter reproduces the parent's scenario bit for bit."""
+        src = Path(repro.__file__).resolve().parents[1]
+        here = Path(__file__).resolve().parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src), str(here)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        code = (
+            "from test_scenario_generators import GENERATORS, scenario_digest; "
+            f"print(scenario_digest(GENERATORS[{kind!r}](7)))"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert child.stdout.strip() == scenario_digest(GENERATORS[kind](7))

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis): every generated scenario encodes.
+
+Scenario generators must only emit datasets that satisfy the invariants
+:func:`repro.fusion.encode_dataset` compiles against — non-empty domains,
+consistent CSR layouts, and (when ``ensure_truth_claimed`` is on) a claim
+of the true value for every object.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import copier_clique_scenario, drift_scenario, open_world_scenario
+from repro.fusion import encode_dataset
+
+
+def _check_encoding_invariants(scn, ensure_truth_claimed=False):
+    dataset = scn.to_dataset()
+    encoding = encode_dataset(dataset)
+    # no empty domains: every object carries at least one claimed value
+    assert np.all(encoding.domain_sizes >= 1)
+    assert encoding.pair_offsets[-1] == encoding.domain_sizes.sum()
+    assert np.all(np.diff(encoding.pair_offsets) == encoding.domain_sizes)
+    # every observation votes for a candidate row of its own object
+    assert np.array_equal(
+        encoding.pair_object_idx[encoding.obs_pair_idx], encoding.obs_object_idx
+    )
+    # value codes stay inside their object's domain
+    assert np.all(encoding.obs_value_code < encoding.domain_sizes[encoding.obs_object_idx])
+    # offsets cover the object-sorted observations exactly
+    assert encoding.obs_offsets[0] == 0
+    assert encoding.obs_offsets[-1] == dataset.n_observations
+    if ensure_truth_claimed:
+        for obj, value in scn.truth.items():
+            assert value in dataset.domain(obj), (obj, value)
+
+
+class TestDriftScenarioEncodes:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_sources=st.integers(min_value=2, max_value=12),
+        objects_per_step=st.integers(min_value=1, max_value=8),
+        n_steps=st.integers(min_value=1, max_value=8),
+        density=st.floats(min_value=0.05, max_value=1.0),
+        domain_size=st.integers(min_value=2, max_value=4),
+        reveal_fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_encodes(
+        self, n_sources, objects_per_step, n_steps, density, domain_size, reveal_fraction, seed
+    ):
+        scn = drift_scenario(
+            n_sources=n_sources,
+            objects_per_step=objects_per_step,
+            n_steps=n_steps,
+            density=density,
+            domain_size=domain_size,
+            reveal_fraction=reveal_fraction,
+            ensure_truth_claimed=True,
+            seed=seed,
+        )
+        _check_encoding_invariants(scn, ensure_truth_claimed=True)
+
+
+class TestCopierScenarioEncodes:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_cliques=st.integers(min_value=1, max_value=3),
+        clique_size=st.integers(min_value=2, max_value=4),
+        extra_honest=st.integers(min_value=0, max_value=6),
+        copy_rate=st.floats(min_value=0.0, max_value=1.0),
+        n_steps=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_encodes(self, n_cliques, clique_size, extra_honest, copy_rate, n_steps, seed):
+        scn = copier_clique_scenario(
+            n_sources=n_cliques * clique_size + extra_honest,
+            n_cliques=n_cliques,
+            clique_size=clique_size,
+            copy_rate=copy_rate,
+            objects_per_step=6,
+            n_steps=n_steps,
+            seed=seed,
+        )
+        _check_encoding_invariants(scn, ensure_truth_claimed=True)
+
+
+class TestOpenWorldScenarioEncodes:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_sources=st.integers(min_value=2, max_value=10),
+        initial_objects=st.integers(min_value=1, max_value=12),
+        new_objects_per_step=st.integers(min_value=0, max_value=5),
+        n_steps=st.integers(min_value=1, max_value=8),
+        claim_rate=st.floats(min_value=0.05, max_value=0.6),
+        growth_rate=st.floats(min_value=0.0, max_value=0.8),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_encodes(
+        self,
+        n_sources,
+        initial_objects,
+        new_objects_per_step,
+        n_steps,
+        claim_rate,
+        growth_rate,
+        seed,
+    ):
+        scn = open_world_scenario(
+            n_sources=n_sources,
+            initial_objects=initial_objects,
+            new_objects_per_step=new_objects_per_step,
+            n_steps=n_steps,
+            claim_rate=claim_rate,
+            growth_rate=growth_rate,
+            seed=seed,
+        )
+        _check_encoding_invariants(scn, ensure_truth_claimed=True)
