@@ -40,6 +40,7 @@ SOURCES = [
     ROOT / "README.md",
     DOCS / "index.md",
     DOCS / "api.md",
+    DOCS / "features.md",
     DOCS / "performance.md",
     DOCS / "serving.md",
     DOCS / "scenarios.md",
@@ -54,7 +55,7 @@ EXAMPLE_SCRIPTS = [
 #: Modules whose *entire* public surface (``__all__``) must be named in
 #: the docs — the inverse of symbol validation: not "everything written
 #: resolves" but "everything public is written somewhere".
-COVERAGE_MODULES = ["repro.serve"]
+COVERAGE_MODULES = ["repro.serve", "repro.featurize"]
 
 SYMBOL_RE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)")
 FENCE_RE = re.compile(r"^```(\w*)\s*$")

@@ -25,6 +25,11 @@ Package map:
   optimizer, guarantees, lasso analysis, copying extension.
 * :mod:`repro.fusion` — dataset containers, feature encoding, metrics, and
   the dense-encoding layer backing the vectorized engine.
+* :mod:`repro.featurize` — versioned reliability feature groups computed
+  from the claims themselves (volume, breadth, recency, corroboration,
+  contradiction, overlap, entropy), composed by a chunked-parallel,
+  content+version-cached :class:`~repro.featurize.FeaturizerPipeline`
+  that plugs into every learner via ``featurizer=``.
 * :mod:`repro.baselines` — Majority, Counts, ACCU, CATD, SSTF, TruthFinder.
 * :mod:`repro.factorgraph` — factor-graph engine (DeepDive substrate).
 * :mod:`repro.optim` — objectives and solvers (L-BFGS, FISTA, SGD).
@@ -87,8 +92,10 @@ from .core import (
     estimate_average_accuracy,
     lasso_path,
 )
+from .featurize import FeatureCache, FeaturizerPipeline
 from .fusion import (
     FeatureSpace,
+    FeatureSpec,
     FusionDataset,
     FusionResult,
     Observation,
@@ -113,6 +120,9 @@ __all__ = [
     "FusionDataset",
     "FusionResult",
     "FeatureSpace",
+    "FeatureSpec",
+    "FeaturizerPipeline",
+    "FeatureCache",
     "Observation",
     "object_value_accuracy",
     "source_accuracy_error",

@@ -121,6 +121,14 @@ class EMConfig:
         fit; ``None``/1 keeps the serial in-process loop.  The reduction
         order is fixed (ascending shard index), so the fit is identical
         either way.
+    featurizer:
+        Optional :class:`repro.featurize.FeaturizerPipeline` (anything
+        with a ``design_for(dataset_or_encoding)`` method).  When set,
+        the design matrix is produced by the pipeline — data-derived
+        reliability features plus the metadata block — instead of the
+        plain metadata :class:`FeatureSpace`.  Requires
+        ``use_features=True``; explicit ``design=``/``feature_space=``
+        arguments to :meth:`EMLearner.fit` still take precedence.
     """
 
     max_iterations: int = 50
@@ -137,6 +145,7 @@ class EMConfig:
     m_step_tolerance: float = 1e-8
     n_shards: Optional[int] = None
     shard_jobs: Optional[int] = None
+    featurizer: Optional[object] = None
 
 
 EM_SOLVERS = ("lbfgs", "lbfgs-warm", "sgd")
@@ -173,6 +182,15 @@ class EMLearner:
                 )
         elif base.shard_jobs is not None:
             raise ValueError("shard_jobs requires n_shards to be set")
+        if base.featurizer is not None:
+            if not base.use_features:
+                raise ValueError("featurizer requires use_features=True")
+            if not hasattr(base.featurizer, "design_for"):
+                raise ValueError(
+                    "featurizer must provide design_for(dataset) "
+                    "(e.g. repro.featurize.FeaturizerPipeline), got "
+                    f"{type(base.featurizer).__name__}"
+                )
         self.config = base
         self.trace_: Optional[EMTrace] = None
         self.warm_state_: Optional[WarmStartState] = None
@@ -215,7 +233,9 @@ class EMLearner:
         truth = dict(truth or {})
         vectorized = self.config.backend == "vectorized"
         if design is None or feature_space is None:
-            if vectorized:
+            if self.config.featurizer is not None:
+                design, feature_space = self.config.featurizer.design_for(dataset)
+            elif vectorized:
                 design, feature_space = encode_dataset(dataset).design(self.config.use_features)
             else:
                 design, feature_space = build_design_matrix(
@@ -495,6 +515,8 @@ def fit_incremental(
     warm_state: Optional[WarmStartState] = None,
     config: Optional[EMConfig] = None,
     materialize_dataset: bool = False,
+    design: Optional[np.ndarray] = None,
+    feature_space: Optional[FeatureSpace] = None,
     **overrides: object,
 ) -> Tuple[AccuracyModel, "EMLearner"]:
     """Re-fit the EM model over an incrementally-grown stream.
@@ -536,7 +558,14 @@ def fit_incremental(
         raise ValueError("fit_incremental requires the vectorized backend")
     dataset = encoding.to_dataset() if materialize_dataset else encoding.dataset_view()
     structure = build_incremental_structure(encoding)
-    design, feature_space = encoding.design(learner.config.use_features)
+    if design is None or feature_space is None:
+        if learner.config.featurizer is not None:
+            # The pipeline reads the encoding's materialized snapshot; a
+            # streaming caller holding RunningSourceStats passes
+            # design=/feature_space= directly to stay O(batch).
+            design, feature_space = learner.config.featurizer.design_for(encoding)
+        else:
+            design, feature_space = encoding.design(learner.config.use_features)
     model = learner.fit(
         dataset,
         truth,

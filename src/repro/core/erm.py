@@ -65,6 +65,12 @@ class ERMConfig:
         dense encoding and batches the correctness objective into per-source
         sufficient statistics for the deterministic solvers;
         ``"reference"`` keeps the original observation-walking loops.
+    featurizer:
+        Optional :class:`repro.featurize.FeaturizerPipeline` (anything
+        with ``design_for``) producing the design matrix — data-derived
+        reliability features plus the metadata block — instead of the
+        plain metadata :class:`FeatureSpace`.  Requires
+        ``use_features=True``.
     """
 
     objective: str = "correctness"
@@ -78,6 +84,7 @@ class ERMConfig:
     sgd_epochs: int = 40
     sgd_learning_rate: float = 0.5
     seed: int = 0
+    featurizer: Optional[object] = None
 
 
 def correctness_training_pairs(
@@ -154,6 +161,15 @@ class ERMLearner:
         if base.solver not in ("lbfgs", "lbfgs-warm", "sgd"):
             raise ValueError(f"unknown solver {base.solver!r}")
         check_backend(base.backend)
+        if base.featurizer is not None:
+            if not base.use_features:
+                raise ValueError("featurizer requires use_features=True")
+            if not hasattr(base.featurizer, "design_for"):
+                raise ValueError(
+                    "featurizer must provide design_for(dataset) "
+                    "(e.g. repro.featurize.FeaturizerPipeline), got "
+                    f"{type(base.featurizer).__name__}"
+                )
         self.config = base
         self.solver_result_: Optional[SolverResult] = None
 
@@ -188,7 +204,9 @@ class ERMLearner:
             # does not preserve; keep the bitwise-reproducible dataset path.
             raise ValueError("a prebuilt structure requires a deterministic solver")
         if design is None or feature_space is None:
-            if self.config.backend == "vectorized":
+            if self.config.featurizer is not None:
+                design, feature_space = self.config.featurizer.design_for(dataset)
+            elif self.config.backend == "vectorized":
                 design, feature_space = encode_dataset(dataset).design(self.config.use_features)
             else:
                 design, feature_space = build_design_matrix(

@@ -99,7 +99,10 @@ class AccuracyModel:
                 "predicting unseen-source accuracy requires a model fitted "
                 "with domain features"
             )
-        row = self.feature_space.encode(features)
+        # Unseen feature values carry no learned weight, so the Section
+        # 5.3.2 prediction treats them as zero contribution regardless of
+        # the space's (strict-by-default) transform policy.
+        row = self.feature_space.transform_one(features, unseen="zero")
         return float(sigmoid(self.intercept + row @ self.w_features))
 
     # ------------------------------------------------------------------

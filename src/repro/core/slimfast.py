@@ -73,6 +73,12 @@ class SLiMFast:
         reductions over the dataset's cached encoding) or ``"reference"``
         (the original loop implementations).  Ignored for learner configs
         passed explicitly.
+    featurizer:
+        Optional :class:`repro.featurize.FeaturizerPipeline`: the design
+        matrix comes from data-derived reliability features (plus the
+        metadata block) instead of metadata alone.  Requires
+        ``use_features=True``; ignored for learner configs passed
+        explicitly.
     """
 
     def __init__(
@@ -90,11 +96,15 @@ class SLiMFast:
         optimizer_accuracy_method: str = "domain-corrected",
         backend: str = "vectorized",
         seed: int = 0,
+        featurizer: Optional[object] = None,
     ) -> None:
         if learner not in ("auto", "erm", "em"):
             raise ValueError(f"unknown learner {learner!r}")
+        if featurizer is not None and not use_features:
+            raise ValueError("featurizer requires use_features=True")
         self.learner = learner
         self.use_features = use_features
+        self.featurizer = featurizer
         self.tau = tau
         self.backend = check_backend(backend)
         self.optimizer_per_observation = optimizer_per_observation
@@ -107,6 +117,7 @@ class SLiMFast:
             use_features=use_features,
             backend=backend,
             seed=seed,
+            featurizer=featurizer,
         )
         self.em_config = em_config or EMConfig(
             l2_sources=l2_sources,
@@ -115,6 +126,7 @@ class SLiMFast:
             solver=solver,
             backend=backend,
             seed=seed,
+            featurizer=featurizer,
         )
 
         self.model_: Optional[AccuracyModel] = None
@@ -136,7 +148,9 @@ class SLiMFast:
         self._train_truth = truth
 
         started = time.perf_counter()
-        if self.backend == "vectorized":
+        if self.featurizer is not None:
+            design, space = self.featurizer.design_for(dataset)
+        elif self.backend == "vectorized":
             # One compile covers the index arrays and the design matrix;
             # both are cached on the dataset for every later consumer.
             design, space = encode_dataset(dataset).design(self.use_features)

@@ -80,6 +80,7 @@ def sweep(
     seeds: Sequence[int] = (0, 1, 2),
     mode: str = "batched",
     n_jobs: int = 1,
+    featurizer: Optional[object] = None,
 ) -> List[RunResult]:
     """Full sweep: every method x fraction x seed.
 
@@ -92,6 +93,11 @@ def sweep(
     every method under ``mode="isolated"``) keep the original per-fit
     :func:`run_method` path, whose equivalence to the batched path is
     pinned in ``tests/experiments/test_sweeps.py``.
+
+    ``featurizer`` (a :class:`repro.featurize.FeaturizerPipeline`) swaps
+    the feature-consuming methods' design matrices for data-derived
+    reliability features; the runner computes that design once per sweep.
+    Sources-* variants and baselines ignore it.
     """
     from .sweeps import METHOD_SPECS, SWEEP_MODES, FitSpec, SweepRunner
 
@@ -110,11 +116,13 @@ def sweep(
                     plan.append(("baseline", method, fraction, seed))
                     continue
                 split = dataset.split(fraction, seed=seed)
+                uses_features = METHOD_SPECS[method][1]
                 specs.append(
                     FitSpec.from_method(
                         name=f"{method}@{fraction}#{seed}",
                         method=method,
                         train_truth=split.train_truth,
+                        featurizer=featurizer if uses_features else None,
                     )
                 )
                 splits.append(split)
@@ -321,8 +329,15 @@ def scenario(
     eval_window: int = 5,
     checkpoint_every: int = 1,
     self_training: bool = False,
+    featurizer: Optional[object] = None,
 ) -> ScenarioReport:
     """Replay a :class:`~repro.data.scenarios.Scenario` across fusion arms.
+
+    ``featurizer`` (a :class:`repro.featurize.FeaturizerPipeline`)
+    attaches data-derived reliability features to the arms that fit an
+    accuracy model: the ``"stream-refit"`` fuser maintains running
+    statistics and featurizes every periodic re-fit, and ``"batch-em"``
+    fits with the featurized design.  The other arms ignore it.
 
     Streaming arms ingest the stream step by step (each step's batch,
     then its truth reveals) and are scored at every checkpoint on the
@@ -379,7 +394,11 @@ def scenario(
         "stream-flat": {},
         "stream-decayed": {"trust_decay": decay},
         "stream-windowed": {"trust_decay": window_decay},
-        "stream-refit": {"refit_every": refit_every, "refit_overrides": refit_overrides},
+        "stream-refit": {
+            "refit_every": refit_every,
+            "refit_overrides": refit_overrides,
+            "featurizer": featurizer,
+        },
     }
 
     series: Dict[str, ScenarioSeries] = {}
@@ -420,7 +439,10 @@ def scenario(
         dataset = scn.to_dataset()
         revealed = scn.revealed_truth()
         for method in batch_methods:
-            runner = get_method(SCENARIO_BATCH_METHODS[method])
+            runner = get_method(
+                SCENARIO_BATCH_METHODS[method],
+                featurizer=featurizer if method == "batch-em" else None,
+            )
             started = time.perf_counter()
             result = runner(dataset, revealed)
             runtime = time.perf_counter() - started

@@ -84,13 +84,35 @@ TABLE3_METHODS: List[str] = [
 ]
 
 
+#: Feature-consuming SLiMFast variants and their facade arguments — the
+#: methods a reliability featurizer can be attached to.
+_FEATURIZABLE: Dict[str, Dict[str, object]] = {
+    "slimfast": {"learner": "auto"},
+    "slimfast-erm": {"learner": "erm"},
+    "slimfast-em": {"learner": "em"},
+}
+
+
 def available_methods() -> List[str]:
     """All registered method names."""
     return sorted(_REGISTRY)
 
 
-def get_method(name: str) -> MethodRunner:
-    """Instantiate a fresh runner for ``name``."""
+def get_method(name: str, featurizer: Optional[object] = None) -> MethodRunner:
+    """Instantiate a fresh runner for ``name``.
+
+    ``featurizer`` (a :class:`repro.featurize.FeaturizerPipeline`) is
+    accepted by the feature-consuming SLiMFast variants and swaps their
+    design matrix for data-derived reliability features.
+    """
+    if featurizer is not None:
+        kwargs = _FEATURIZABLE.get(name)
+        if kwargs is None:
+            raise ValueError(
+                f"method {name!r} does not consume a featurizer; "
+                f"supported: {', '.join(sorted(_FEATURIZABLE))}"
+            )
+        return _slimfast_runner(featurizer=featurizer, **kwargs)
     try:
         return _REGISTRY[name]()
     except KeyError:

@@ -121,6 +121,13 @@ class FitSpec:
         Extra :class:`~repro.core.em.EMConfig` /
         :class:`~repro.core.erm.ERMConfig` keyword overrides, e.g.
         ``{"l2_sources": 2.0}`` or ``{"intercept": True}``.
+    featurizer:
+        Optional :class:`repro.featurize.FeaturizerPipeline`: this fit's
+        design matrix comes from data-derived reliability features
+        instead of the encoding's metadata matrix.  The runner computes
+        each distinct pipeline's design once per sweep (keyed by its
+        ``version_key``) and shares it across fits; requires
+        ``use_features=True``.
     """
 
     name: str
@@ -129,6 +136,7 @@ class FitSpec:
     use_features: bool = True
     exclude_sources: Tuple[SourceId, ...] = ()
     overrides: Mapping[str, object] = field(default_factory=dict)
+    featurizer: Optional[object] = None
 
     @classmethod
     def from_method(cls, name: str, method: str, train_truth, **kwargs) -> "FitSpec":
@@ -244,6 +252,8 @@ class SweepRunner:
 
         self._structures: Dict[Tuple[int, ...], PairStructure] = {}
         self._label_plans: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
+        # Featurized designs per pipeline version key, shared across fits.
+        self._featurized_designs: Dict[str, tuple] = {}
         self._avg_accuracy: Optional[float] = None
         # Warm registry: (spec, learner, truth fingerprint, state) per
         # completed warm-startable fit.
@@ -288,6 +298,33 @@ class SweepRunner:
             self._label_plans[key] = cached
         return cached
 
+    def _design_for_spec(self, spec: FitSpec, cached: bool):
+        """``(design, space)`` for a spec, honoring its featurizer.
+
+        Featurized designs are computed once per distinct pipeline
+        ``version_key`` and reused by every fit that shares it (the
+        pipeline's own content-addressed cache additionally dedupes
+        across runners and processes).
+        """
+        if spec.featurizer is None:
+            if cached:
+                return self._encoding.design(spec.use_features)
+            return encode_dataset(self.dataset).design(spec.use_features)
+        if not spec.use_features:
+            raise ValueError(f"spec {spec.name!r}: featurizer requires use_features=True")
+        key = getattr(spec.featurizer, "version_key", repr(spec.featurizer))
+        hit = self._featurized_designs.get(key)
+        if hit is None:
+            hit = spec.featurizer.design_for(self.dataset)
+            self._featurized_designs[key] = hit
+        return hit
+
+    @staticmethod
+    def _featurizer_key(spec: FitSpec) -> Optional[str]:
+        if spec.featurizer is None:
+            return None
+        return getattr(spec.featurizer, "version_key", repr(spec.featurizer))
+
     def _average_accuracy(self) -> float:
         """Agreement-based accuracy estimate, computed once per sweep.
 
@@ -318,6 +355,10 @@ class SweepRunner:
         exclude_key = self._exclude_key(tuple(spec.exclude_sources))
         for prior, prior_learner, prior_truth, state in self._warm_registry:
             if prior_learner != learner or prior.use_features != spec.use_features:
+                continue
+            # A different featurizer (or none) changes the design's column
+            # count, so the flat parameter layouts are incompatible.
+            if self._featurizer_key(prior) != self._featurizer_key(spec):
                 continue
             distance = (
                 self._exclude_key(tuple(prior.exclude_sources)) != exclude_key,
@@ -413,7 +454,7 @@ class SweepRunner:
 
     def _run_batched(self, spec: FitSpec, truth) -> SweepFitResult:
         structure = self._structure_for(tuple(spec.exclude_sources))
-        design, space = self._encoding.design(spec.use_features)
+        design, space = self._design_for_spec(spec, cached=True)
         label_rows, blocked = self._label_plan_for(structure, spec)
         learner_used, decision = self._choose_learner(spec, truth, design.shape[1], cached=True)
         # Warm handoff applies to EM only: its inner solver stops on the
@@ -476,7 +517,7 @@ class SweepRunner:
         else:
             structure = build_pair_structure(self.dataset, backend=self.backend)
             fit_structure = None
-        design, space = encode_dataset(self.dataset).design(spec.use_features)
+        design, space = self._design_for_spec(spec, cached=False)
         learner_used, decision = self._choose_learner(spec, truth, design.shape[1], cached=False)
 
         config = self._config_for(spec, learner_used, self.backend, batched=False)

@@ -267,6 +267,13 @@ class _VectorizedEngine:
         self.n_refits = 0
         self._last_refit_at = 0
         self._warm_state = None
+        self._running_stats = None
+        if fuser.featurizer is not None:
+            from ..featurize.stats import DEFAULT_HALF_LIFE, RunningSourceStats
+
+            self._running_stats = RunningSourceStats(
+                half_life=getattr(fuser.featurizer, "half_life", DEFAULT_HALF_LIFE)
+            )
 
     # ------------------------------------------------------------------
     # Capacity management
@@ -340,6 +347,10 @@ class _VectorizedEngine:
         batch = self.encoding.append(observations)
         if len(batch) == 0:
             return
+        if self._running_stats is not None:
+            # O(batch + touched-object claims): keeps the featurized
+            # refit's design inputs current without any snapshot pass.
+            self._running_stats.observe(self.encoding, batch)
         config = self._config
         n_objects_before = self._n_objects
         self._grow_sources(self.encoding.n_sources)
@@ -558,10 +569,23 @@ class _VectorizedEngine:
         """
         from ..core.em import fit_incremental
 
+        design = feature_space = None
+        if self._config.featurizer is not None and self._running_stats is not None:
+            # Assemble the featurized design from the running accumulators
+            # (no snapshot recompute); fit_incremental then skips its own
+            # design resolution entirely.
+            stats = self._running_stats.snapshot(self.encoding.n_objects)
+            design, feature_space = self._config.featurizer.design_from_stats(
+                stats,
+                self.encoding.sources.items,
+                self.encoding.source_features,
+            )
         model, learner = fit_incremental(
             self.encoding,
             truth=self.truth,
             warm_state=self._warm_state,
+            design=design,
+            feature_space=feature_space,
             **dict(self._config.refit_overrides or {}),
         )
         self._warm_state = learner.warm_state_
@@ -622,6 +646,13 @@ class StreamingFuser:
     refit_overrides:
         Keyword overrides forwarded to :func:`repro.core.em.fit_incremental`
         (e.g. ``{"max_iterations": 10}``).
+    featurizer:
+        Optional :class:`repro.featurize.FeaturizerPipeline` (vectorized
+        backend only): the engine maintains
+        :class:`~repro.featurize.stats.RunningSourceStats` in O(batch)
+        per append, and every periodic re-fit uses a design of
+        data-derived reliability features assembled from those running
+        accumulators instead of the metadata-only matrix.
     """
 
     def __init__(
@@ -635,6 +666,7 @@ class StreamingFuser:
         refit_every: Optional[int] = None,
         refit_overrides: Optional[Dict[str, object]] = None,
         trust_decay: Optional[DecayConfig] = None,
+        featurizer: Optional[object] = None,
     ) -> None:
         if not 0.0 < decay <= 1.0:
             raise ValueError("decay must be in (0, 1]")
@@ -655,11 +687,20 @@ class StreamingFuser:
         if refit_every is not None and refit_every <= 0:
             raise ValueError("refit_every must be a positive observation count")
         if backend == "reference" and (
-            refit_every is not None or refit_overrides is not None or source_features is not None
+            refit_every is not None
+            or refit_overrides is not None
+            or source_features is not None
+            or featurizer is not None
         ):
             raise ValueError(
-                "refit_every/refit_overrides/source_features require backend='vectorized'; "
-                "the reference engine has no re-fit hook"
+                "refit_every/refit_overrides/source_features/featurizer require "
+                "backend='vectorized'; the reference engine has no re-fit hook"
+            )
+        if featurizer is not None and not hasattr(featurizer, "design_from_stats"):
+            raise ValueError(
+                "featurizer must provide design_from_stats "
+                "(e.g. repro.featurize.FeaturizerPipeline), got "
+                f"{type(featurizer).__name__}"
             )
         self.prior_correct = prior_correct
         self.prior_total = prior_total
@@ -671,6 +712,7 @@ class StreamingFuser:
         self.source_features = source_features
         self.refit_every = refit_every
         self.refit_overrides = refit_overrides
+        self.featurizer = featurizer
         self._engine = (
             _VectorizedEngine(self) if backend == "vectorized" else _ReferenceEngine(self)
         )

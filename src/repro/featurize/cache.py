@@ -1,0 +1,146 @@
+"""Content + version addressed cache for featurized design matrices.
+
+A cached entry is keyed by ``sha256(dataset_digest || version_key)``:
+
+* ``dataset_digest`` hashes the encoding's flat claim arrays plus the
+  source metadata, so *any* change to the data produces a new key;
+* ``version_key`` is the pipeline's configuration fingerprint
+  (:attr:`FeaturizerPipeline.version_key` — pipeline version, group
+  ``name@version`` keys, half-life, standardization, metadata options),
+  so bumping ``FEATURIZER_VERSION`` or any group version invalidates
+  every cached matrix without touching the data.
+
+Entries are single ``.npz`` files (matrix + column names + a small JSON
+metadata record) written atomically via a temp file + ``os.replace``;
+an in-process memo layer makes repeat featurizations of the same
+dataset free even without a cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Arrays hashed into the dataset digest (claim structure + arrival order).
+DIGEST_ARRAYS = (
+    "obs_source_idx",
+    "obs_object_idx",
+    "obs_value_code",
+    "obs_order",
+    "domain_sizes",
+)
+
+
+def dataset_digest(
+    arrays: Mapping[str, np.ndarray],
+    source_features: Optional[Mapping[object, Mapping[str, object]]] = None,
+) -> str:
+    """Hex digest of the dataset content a featurization depends on."""
+    h = hashlib.sha256()
+    for name in DIGEST_ARRAYS:
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    if source_features:
+        meta_repr = sorted(
+            (repr(src), sorted((key, repr(val)) for key, val in feats.items()))
+            for src, feats in source_features.items()
+        )
+        h.update(repr(meta_repr).encode())
+    return h.hexdigest()
+
+
+def cache_key(digest: str, version_key: str) -> str:
+    """Combine a dataset digest and a pipeline version key into one key."""
+    h = hashlib.sha256()
+    h.update(digest.encode())
+    h.update(b"\x00")
+    h.update(version_key.encode())
+    return h.hexdigest()[:32]
+
+
+class FeatureCache:
+    """Disk-backed (plus in-process) store for featurized matrices."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._memory: Dict[str, Tuple[np.ndarray, List[str], Dict[str, object]]] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The memo holds raw matrices; never ship it across processes.
+        return {"root": self.root}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.root = state["root"]
+        self._memory = {}
+
+    def path_for(self, key: str) -> Optional[Path]:
+        if self.root is None:
+            return None
+        return self.root / f"featurized_{key}.npz"
+
+    def load(self, key: str) -> Optional[Tuple[np.ndarray, List[str], Dict[str, object]]]:
+        """Return ``(matrix, column_names, meta)`` or ``None`` on miss."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            matrix, names, meta = hit
+            return matrix.copy(), list(names), dict(meta)
+        path = self.path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                matrix = np.asarray(payload["matrix"], dtype=float)
+                names = [str(name) for name in payload["column_names"]]
+                meta = json.loads(str(payload["meta"]))
+        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            return None  # corrupt/partial entries behave as misses
+        self._memory[key] = (matrix, names, meta)
+        return matrix.copy(), list(names), dict(meta)
+
+    def store(
+        self,
+        key: str,
+        matrix: np.ndarray,
+        column_names: Sequence[str],
+        meta: Mapping[str, object],
+    ) -> Optional[Path]:
+        """Persist an entry; returns the written path (None if memory-only)."""
+        names = [str(name) for name in column_names]
+        record = dict(meta)
+        self._memory[key] = (np.asarray(matrix, dtype=float).copy(), names, record)
+        path = self.path_for(key)
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    matrix=np.asarray(matrix, dtype=float),
+                    column_names=np.array(names, dtype=np.str_),
+                    meta=np.str_(json.dumps(record, sort_keys=True)),
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear_memory(self) -> None:
+        """Drop the in-process memo (disk entries survive)."""
+        self._memory.clear()
+
+
+__all__ = ["FeatureCache", "dataset_digest", "cache_key", "DIGEST_ARRAYS"]

@@ -1,0 +1,225 @@
+"""Reliability feature groups: named, versioned column blocks.
+
+Each group turns a :class:`~repro.featurize.stats.SourceStats` into a
+small ``|S| x k`` block of float columns.  Groups are frozen dataclasses
+(hashable, picklable) carrying a ``name`` and an integer ``version``;
+the pair forms the group's :attr:`key`, which the pipeline folds into
+its cache key so editing a group's semantics (and bumping its version)
+invalidates cached matrices automatically.
+
+All columns are finite for every source (0-claim sources get zeros) and
+roughly unit-scaled; the pipeline can additionally z-score the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .stats import SourceStats
+
+
+def _safe_div(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """Elementwise ``num / den`` with 0 where ``den == 0``."""
+    den = np.asarray(den, dtype=float)
+    out = np.zeros(np.broadcast(num, den).shape, dtype=float)
+    np.divide(num, den, out=out, where=den != 0)
+    return out
+
+
+@dataclass(frozen=True)
+class FeatureGroup:
+    """Base class: a named, versioned block of per-source columns."""
+
+    name = "base"
+    version = 1
+
+    @property
+    def key(self) -> str:
+        """Stable identity folded into the pipeline cache key."""
+        return f"{self.name}@v{self.version}"
+
+    def column_names(self) -> List[str]:
+        raise NotImplementedError
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        """Return a ``(stats.n_sources, len(column_names()))`` block."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VolumeGroup(FeatureGroup):
+    """How much the source claims, absolutely and relative to the dataset."""
+
+    name = "volume"
+    version = 1
+
+    def column_names(self) -> List[str]:
+        return ["volume:claim_share", "volume:log_claims"]
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        claims = stats.n_claims.astype(float)
+        share = claims / max(stats.n_observations, 1)
+        log_claims = np.log1p(claims) / np.log1p(max(stats.n_observations, 1))
+        return np.column_stack([share, log_claims])
+
+
+@dataclass(frozen=True)
+class BreadthGroup(FeatureGroup):
+    """Coverage of the object space and typical claimed-domain size."""
+
+    name = "breadth"
+    version = 1
+
+    def column_names(self) -> List[str]:
+        return ["breadth:object_coverage", "breadth:mean_domain"]
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        claims = stats.n_claims.astype(float)
+        coverage = claims / max(stats.n_objects, 1)
+        mean_domain = _safe_div(stats.sum_domain, claims)
+        return np.column_stack([coverage, mean_domain])
+
+
+@dataclass(frozen=True)
+class RecencyGroup(FeatureGroup):
+    """Where in the arrival stream the source's claims sit.
+
+    Arrival rows are the stream clock; staleness and mean age are
+    normalized by the stream length, and ``decayed_share`` is the
+    half-life-decayed volume relative to the raw claim count (1.0 when
+    every claim is brand new, approaching 0 for long-dormant sources).
+    """
+
+    name = "recency"
+    version = 1
+
+    def column_names(self) -> List[str]:
+        return ["recency:staleness", "recency:mean_age", "recency:decayed_share"]
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        horizon = float(max(stats.n_observations, 1))
+        claims = stats.n_claims.astype(float)
+        last = stats.last_row.astype(float)
+        has_claims = stats.n_claims > 0
+        staleness = np.where(has_claims, (horizon - 1.0 - last) / horizon, 0.0)
+        mean_row = _safe_div(stats.sum_row, claims)
+        mean_age = np.where(has_claims, (horizon - 1.0 - mean_row) / horizon, 0.0)
+        decayed_share = _safe_div(stats.decayed_volume, claims)
+        return np.column_stack([staleness, mean_age, decayed_share])
+
+
+@dataclass(frozen=True)
+class CorroborationGroup(FeatureGroup):
+    """Agreement with the per-object consensus and with co-claimants."""
+
+    name = "corroboration"
+    version = 1
+
+    def column_names(self) -> List[str]:
+        return ["corroboration:consensus_rate", "corroboration:agreement_rate"]
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        consensus_rate = _safe_div(stats.n_consensus.astype(float), stats.n_claims.astype(float))
+        agreement_rate = _safe_div(stats.sum_agree, stats.sum_coclaim)
+        return np.column_stack([consensus_rate, agreement_rate])
+
+
+@dataclass(frozen=True)
+class RecentCorroborationGroup(FeatureGroup):
+    """Recency-weighted agreement: corroboration of the source's *latest* claims.
+
+    ``sum_agree`` averages over a source's whole history, which goes
+    stale under reliability drift; here each claim's agreeing-co-claimant
+    count is weighted by ``2^((row - last_row)/half_life)``, so the rate
+    tracks how corroborated the source's recent behavior is.
+    """
+
+    name = "recent_corroboration"
+    version = 1
+
+    def column_names(self) -> List[str]:
+        return ["recent_corroboration:decayed_agreement"]
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        # Recency-weighted mean agreeing co-claimants per claim.
+        rate = _safe_div(stats.decayed_agree, stats.decayed_volume)
+        return rate[:, np.newaxis]
+
+
+@dataclass(frozen=True)
+class ContradictionGroup(FeatureGroup):
+    """Fraction of claims disputed by at least one other source."""
+
+    name = "contradiction"
+    version = 1
+
+    def column_names(self) -> List[str]:
+        return ["contradiction:contradicted_rate"]
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        rate = _safe_div(stats.n_contradicted.astype(float), stats.n_claims.astype(float))
+        return rate[:, np.newaxis]
+
+
+@dataclass(frozen=True)
+class OverlapGroup(FeatureGroup):
+    """How much the source's claimed objects overlap other sources'."""
+
+    name = "overlap"
+    version = 1
+
+    def column_names(self) -> List[str]:
+        return ["overlap:shared_rate", "overlap:mean_coclaimants"]
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        claims = stats.n_claims.astype(float)
+        shared_rate = 1.0 - _safe_div(stats.n_solo.astype(float), claims)
+        shared_rate[stats.n_claims == 0] = 0.0
+        mean_coclaimants = _safe_div(stats.sum_coclaim, claims)
+        return np.column_stack([shared_rate, mean_coclaimants])
+
+
+@dataclass(frozen=True)
+class EntropyGroup(FeatureGroup):
+    """Mean contestedness (normalized vote entropy) of claimed objects."""
+
+    name = "entropy"
+    version = 1
+
+    def column_names(self) -> List[str]:
+        return ["entropy:mean_claim_entropy"]
+
+    def compute(self, stats: SourceStats) -> np.ndarray:
+        mean_entropy = _safe_div(stats.sum_entropy, stats.n_claims.astype(float))
+        return mean_entropy[:, np.newaxis]
+
+
+def default_groups() -> Tuple[FeatureGroup, ...]:
+    """The full reliability library, in canonical column order."""
+    return (
+        VolumeGroup(),
+        BreadthGroup(),
+        RecencyGroup(),
+        CorroborationGroup(),
+        RecentCorroborationGroup(),
+        ContradictionGroup(),
+        OverlapGroup(),
+        EntropyGroup(),
+    )
+
+
+__all__ = [
+    "FeatureGroup",
+    "VolumeGroup",
+    "BreadthGroup",
+    "RecencyGroup",
+    "CorroborationGroup",
+    "RecentCorroborationGroup",
+    "ContradictionGroup",
+    "OverlapGroup",
+    "EntropyGroup",
+    "default_groups",
+]

@@ -2,7 +2,7 @@
 
 from .dataset import FusionDataset, Split, subset_sources
 from .encoding import AppendBatch, DenseEncoding, IncrementalEncoding, encode_dataset
-from .features import FeatureSpace, build_design_matrix
+from .features import FeatureColumn, FeatureSpace, FeatureSpec, build_design_matrix
 from .metrics import (
     bernoulli_kl,
     binary_entropy,
@@ -36,6 +36,8 @@ __all__ = [
     "AppendBatch",
     "encode_dataset",
     "FeatureSpace",
+    "FeatureSpec",
+    "FeatureColumn",
     "build_design_matrix",
     "FusionResult",
     "PosteriorStore",

@@ -726,15 +726,22 @@ class IncrementalEncoding:
         """
         return self._domain_sizes.data
 
-    def object_claims(self, o_idx: int) -> Tuple[np.ndarray, np.ndarray]:
-        """``(source_idx, value_code)`` of one object's claims, in arrival order.
+    def object_claims(self, o_idx: int, with_rows: bool = False):
+        """``(source_idx, value_code[, arrival_row])`` of one object's claims.
 
-        Reads the live span directly (no snapshot materialization); the
-        arrays are copies and remain valid across appends.
+        Claims come back in arrival order.  Reads the live span directly
+        (no snapshot materialization); the arrays are copies and remain
+        valid across appends.
         """
         start = int(self._span_start.data[o_idx])
         length = int(self._span_len.data[o_idx])
         span = slice(start, start + length)
+        if with_rows:
+            return (
+                self._store_src[span].copy(),
+                self._store_val[span].copy(),
+                self._store_row[span].copy(),
+            )
         return self._store_src[span].copy(), self._store_val[span].copy()
 
     # ------------------------------------------------------------------
@@ -751,11 +758,10 @@ class IncrementalEncoding:
         key = bool(use_features)
         cached = self._design_cache.get(key)
         if cached is None:
-            space = FeatureSpace()
             if key:
-                space.fit_metadata(self.source_features)
+                space = FeatureSpace().fit(self.source_features)
             else:
-                space._fitted = True
+                space = FeatureSpace.empty()
             rows = np.zeros((max(self.n_sources, 8), space.n_columns), dtype=float)
             cached = [rows, 0, space]
             self._design_cache[key] = cached
@@ -772,7 +778,7 @@ class IncrementalEncoding:
                 for s_idx in range(n_encoded, n_sources):
                     feats = self.source_features.get(items[s_idx])
                     if feats:
-                        rows[s_idx] = space.encode(feats)
+                        rows[s_idx] = space.transform_one(feats)
             cached[1] = n_sources
         return rows[:n_sources], space
 
