@@ -9,8 +9,7 @@ contract is that queries never wait on the stream.
 Run:  PYTHONPATH=src python examples/serve_demo.py
 """
 
-import numpy as np
-
+from repro.data import as_generator
 from repro.serve import FusionServer
 
 DOMAIN = ["a", "b", "c", "d"]
@@ -48,7 +47,7 @@ def report(label, server, truth):
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    rng = as_generator(7)
     n_batches, drift_at = 12, 6
 
     # decay discounts old Beta evidence, so reliability estimates track

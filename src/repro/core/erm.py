@@ -248,7 +248,11 @@ class ERMLearner:
         if source_idx.size == 0:
             raise DatasetError("no observations overlap the provided ground truth")
         sample_weights = None
-        if self.config.backend == "vectorized" and self.config.solver != "sgd":
+        # Not a backend dispatch but an optional compaction: the reference
+        # fallthrough keeps the raw per-observation samples on purpose
+        # (SGD consumes them one at a time), so there is no "reference
+        # branch" to add here.
+        if self.config.backend == "vectorized" and self.config.solver != "sgd":  # repro-analysis: ignore[RA3]
             # Deterministic solvers see the loss only through per-source
             # scores, so batch the samples into sufficient statistics.
             source_idx, labels, sample_weights = reduce_correctness_samples(

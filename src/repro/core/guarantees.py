@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._rng import as_generator
+
 
 def rademacher_linear(n_features: int, n_samples: int) -> float:
     """Rademacher-complexity rate for linear losses (Appendix A, Eq. 5)."""
@@ -93,7 +95,7 @@ def empirical_rademacher_linear(
     if rows.ndim != 2 or rows.shape[0] == 0:
         raise ValueError("features must be a non-empty 2-D sample matrix")
     n = rows.shape[0]
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     total = 0.0
     for _ in range(n_draws):
         signs = rng.choice([-1.0, 1.0], size=n)

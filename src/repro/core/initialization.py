@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .._rng import as_generator
 from ..fusion.dataset import FusionDataset, subset_sources
 from ..fusion.types import DatasetError, SourceId
 from .erm import ERMConfig, ERMLearner
@@ -72,7 +73,7 @@ def evaluate_initialization(
     """
     if not 0.0 < fraction_used < 1.0:
         raise DatasetError("fraction_used must be in (0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     all_sources: List[SourceId] = dataset.sources.items
     order = rng.permutation(len(all_sources))
     n_used = max(1, int(round(fraction_used * len(all_sources))))

@@ -8,76 +8,32 @@ correlated news sources for Demonstrations, feature-dominated accuracy for
 Genomics).  See DESIGN.md section 3 for the substitution rationale.
 
 This module holds the pieces all simulators share: feature-driven accuracy
-sampling and observation-noise models.
+sampling and observation-noise models.  The seed-normalization helpers
+(:data:`SeedLike`, :func:`as_generator`, :func:`spawn_generators`) live in
+the leaf module :mod:`repro._rng` and are re-exported here unchanged —
+this import path is the stable public one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .._rng import SeedLike, as_generator, spawn_generators
 from ..optim.numerics import logit, sigmoid
 
-#: Anything the simulators accept as a randomness source: an int seed, a
-#: ready-made :class:`numpy.random.Generator`, a ``SeedSequence``, or
-#: ``None`` (OS entropy — not reproducible, use only interactively).
-SeedLike = Union[int, np.integer, np.random.Generator, np.random.SeedSequence, None]
-
-
-def as_generator(seed: SeedLike) -> np.random.Generator:
-    """Normalize a seed-like argument into a :class:`numpy.random.Generator`.
-
-    Every generator in :mod:`repro.data` routes its ``seed`` argument
-    through here, so callers can pass either an int seed *or* an existing
-    ``Generator`` (e.g. a stream split off a shared ``SeedSequence``).
-    Passing a ``Generator`` hands over its live state: the simulator
-    advances it, so two calls with the same generator object produce
-    different (but seed-deterministic) datasets.
-
-    Reproducibility across process boundaries: an int seed is hashed by
-    ``numpy``'s ``SeedSequence`` into the PCG64 state deterministically,
-    with no dependence on process start method — the same seed produces
-    the same dataset in the parent, in a ``fork`` worker, and in a
-    ``spawn`` worker (pinned in ``tests/data/test_simulators.py``).
-
-    Legacy ``numpy.random.RandomState`` objects are rejected: their
-    sampling algorithms differ from ``Generator``'s, so accepting them
-    would silently break the cross-process determinism contract.
-    """
-    if isinstance(seed, np.random.Generator):
-        return seed
-    if isinstance(seed, np.random.RandomState):
-        raise TypeError(
-            "legacy numpy.random.RandomState is not supported; pass an int "
-            "seed or a numpy.random.Generator (np.random.default_rng(seed))"
-        )
-    if seed is None or isinstance(seed, (int, np.integer, np.random.SeedSequence)):
-        return np.random.default_rng(seed)
-    raise TypeError(
-        f"seed must be an int, numpy.random.Generator, SeedSequence or None, "
-        f"got {type(seed).__name__}"
-    )
-
-
-def spawn_generators(seed: SeedLike, n: int) -> List[np.random.Generator]:
-    """Split ``n`` independent child generators off one seed.
-
-    Children are derived through ``SeedSequence.spawn``, so parallel
-    workers (fork or spawn) can each own a statistically independent
-    stream while the whole ensemble stays reproducible from one seed.
-    A live ``Generator`` is split through its own bit generator's seed
-    sequence when available.
-    """
-    if isinstance(seed, np.random.Generator):
-        sequence = getattr(seed.bit_generator, "seed_seq", None)
-        if sequence is None:  # pragma: no cover - exotic bit generators
-            sequence = np.random.SeedSequence(int(seed.integers(2**63)))
-    elif isinstance(seed, np.random.SeedSequence):
-        sequence = seed
-    else:
-        sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(n)]
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn_generators",
+    "feature_driven_accuracies",
+    "quantile_levels",
+    "draw_claims",
+    "ensure_truth_claimed",
+    "bernoulli_pairs",
+    "panel_pairs",
+]
 
 
 def feature_driven_accuracies(

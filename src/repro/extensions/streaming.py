@@ -50,6 +50,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .._rng import as_generator
 from ..fusion.dataset import FusionDataset
 from ..fusion.encoding import (
     IncrementalEncoding,
@@ -843,7 +844,7 @@ def replay_dataset(
     so only ``batch_size=1`` (or ``backend="reference"``) reproduces the
     exact sequential replay estimates.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     order = rng.permutation(dataset.n_observations)
     fuser = StreamingFuser(**kwargs)
     truth = dict(train_truth or {})

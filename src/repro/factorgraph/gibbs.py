@@ -26,6 +26,7 @@ from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
+from .._rng import as_generator
 from ..optim.numerics import softmax
 from ..optim.objectives import segment_softmax
 from .graph import FactorGraph, GraphError
@@ -159,15 +160,17 @@ class GibbsSampler:
         preserves warm-restart semantics by using the reference sweeps
         whenever an ``initial_state`` is supplied.
         """
-        if self.backend == "vectorized" or (self.backend == "auto" and initial_state is None):
-            try:
-                tables = compile_unary_score_tables(graph)
-            except GraphError:
-                if self.backend == "vectorized":
-                    raise
-            else:
-                return self._run_vectorized(tables)
-        return self._run_reference(graph, initial_state)
+        if self.backend == "reference" or (self.backend == "auto" and initial_state is not None):
+            return self._run_reference(graph, initial_state)
+        try:
+            tables = compile_unary_score_tables(graph)
+        except GraphError:
+            if self.backend == "vectorized":
+                raise
+            # "auto" falls back to the reference sweeps on graphs the
+            # table compiler cannot handle (e.g. non-unary factors).
+            return self._run_reference(graph, initial_state)
+        return self._run_vectorized(tables)
 
     # ------------------------------------------------------------------
     def _run_vectorized(self, tables: UnaryScoreTables) -> GibbsResult:
@@ -178,7 +181,7 @@ class GibbsSampler:
         ``n_samples`` sweeps batch into a single searchsorted over the
         concatenated per-variable CDFs.
         """
-        rng = np.random.default_rng(self.seed)
+        rng = as_generator(self.seed)
         n_vars = tables.n_variables
         if n_vars == 0:
             return GibbsResult(marginals={}, last_state={}, n_samples=self.n_samples)
@@ -216,7 +219,7 @@ class GibbsSampler:
         initial_state: Optional[Dict[Hashable, Hashable]] = None,
     ) -> GibbsResult:
         """Original per-factor sweep loop (ground truth for the tests)."""
-        rng = np.random.default_rng(self.seed)
+        rng = as_generator(self.seed)
         latent = graph.latent_variables()
         state: Dict[Hashable, Hashable] = {}
         for variable in latent:

@@ -21,6 +21,7 @@ from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
+from .._rng import as_generator
 from ..optim.numerics import softmax
 from .graph import FactorGraph, Variable
 
@@ -76,7 +77,7 @@ class PseudoLikelihoodLearner:
             raise ValueError("pseudo-likelihood learning requires evidence variables")
         learnable = (set(learnable_ids) if learnable_ids is not None else set(graph.weights.keys()))
 
-        rng = np.random.default_rng(self.seed)
+        rng = as_generator(self.seed)
         grad_sq: Dict[Hashable, float] = {wid: 0.0 for wid in learnable}
         n_evidence = len(evidence)
 

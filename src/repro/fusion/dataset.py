@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._rng import as_generator
 from .types import (
     DatasetError,
     DatasetStats,
@@ -254,7 +255,7 @@ class FusionDataset:
         labeled = sorted(self.ground_truth, key=repr)
         if not labeled:
             raise DatasetError("dataset has no ground truth to split")
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         order = rng.permutation(len(labeled))
         n_train = int(round(train_fraction * len(labeled)))
         if n_train == 0:

@@ -20,6 +20,7 @@ from typing import Callable, Optional, Protocol
 import numpy as np
 from scipy import optimize
 
+from .._rng import as_generator
 from .numerics import soft_threshold
 
 
@@ -443,7 +444,7 @@ def sgd(
     on by default, which makes the method robust to the very different
     frequencies of source-indicator versus shared domain features.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     w = np.zeros(objective.n_params) if w0 is None else np.asarray(w0, dtype=float).copy()
     grad_sq = np.zeros_like(w)
     for epoch in range(epochs):

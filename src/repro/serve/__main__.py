@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._rng import as_generator
 from .server import FusionServer
 
 Observation = Tuple[str, str, str]
@@ -38,7 +39,7 @@ def simulate_batches(
     [0.55, 0.95]) and a uniformly wrong value otherwise.  Returns the
     batches plus the ground-truth map (for optional reveals).
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     accuracies = np.linspace(0.55, 0.95, n_sources)
     batches: List[List[Observation]] = []
     truth = {}
@@ -64,7 +65,7 @@ def _run_readers(
     server: FusionServer, n_readers: int, queries_per_reader: int, top_k: int, seed: int
 ) -> None:
     def reader(reader_seed: int) -> None:
-        rng = np.random.default_rng(reader_seed)
+        rng = as_generator(reader_seed)
         with server.read() as snapshot:
             known = snapshot.object_ids
         for i in range(queries_per_reader):
@@ -116,7 +117,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     batches, truth = simulate_batches(
         args.batches, args.objects_per_batch, args.sources, seed=args.seed
     )
-    rng = np.random.default_rng(args.seed + 1)
+    rng = as_generator(args.seed + 1)
     server = FusionServer(publish_every=args.publish_every).start()
     for batch in batches:
         server.ingest(batch)

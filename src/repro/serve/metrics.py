@@ -29,6 +29,26 @@ from typing import Dict, List, Optional
 
 __all__ = ["LatencyHistogram", "ServeMetrics"]
 
+#: Lock discipline, machine-checked by the ``RA2`` rule of
+#: ``tools/repro_analysis``.  Both classes guard their mutable counters
+#: with an instance ``_lock``; the histogram bucket bounds are immutable
+#: after construction and deliberately unlisted.
+GUARDED_BY = {
+    # LatencyHistogram
+    "_counts": "_lock",
+    "_count": "_lock",
+    "_sum": "_lock",
+    "_max": "_lock",
+    # ServeMetrics
+    "_query_counts": "_lock",
+    "_ingest_batches": "_lock",
+    "_ingest_observations": "_lock",
+    "_ingest_errors": "_lock",
+    "_swaps": "_lock",
+    "_drained": "_lock",
+    "_last_publish_monotonic": "_lock",
+}
+
 
 class LatencyHistogram:
     """Thread-safe latency histogram over geometric buckets.
@@ -77,21 +97,25 @@ class LatencyHistogram:
     @property
     def count(self) -> int:
         """Number of recorded samples."""
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def total_seconds(self) -> float:
         """Sum of all recorded samples."""
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def max_seconds(self) -> float:
         """Largest recorded sample (0.0 when empty)."""
-        return self._max
+        with self._lock:
+            return self._max
 
     def mean(self) -> float:
         """Arithmetic mean of the samples (0.0 when empty)."""
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     def percentile(self, q: float) -> float:
         """Upper-bound estimate of the ``q``-quantile (``0 < q <= 1``).
@@ -118,10 +142,14 @@ class LatencyHistogram:
 
     def as_dict(self) -> Dict[str, float]:
         """Summary snapshot: count, mean, max, p50/p90/p99."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            maximum = self._max
         return {
-            "count": self._count,
-            "mean_seconds": self.mean(),
-            "max_seconds": self._max,
+            "count": count,
+            "mean_seconds": total / count if count else 0.0,
+            "max_seconds": maximum,
             "p50_seconds": self.percentile(0.50),
             "p90_seconds": self.percentile(0.90),
             "p99_seconds": self.percentile(0.99),
@@ -202,27 +230,32 @@ class ServeMetrics:
     @property
     def ingest_batches(self) -> int:
         """Successfully ingested batches."""
-        return self._ingest_batches
+        with self._lock:
+            return self._ingest_batches
 
     @property
     def ingest_observations(self) -> int:
         """Successfully ingested observations."""
-        return self._ingest_observations
+        with self._lock:
+            return self._ingest_observations
 
     @property
     def ingest_errors(self) -> int:
         """Rejected ingest batches."""
-        return self._ingest_errors
+        with self._lock:
+            return self._ingest_errors
 
     @property
     def swap_count(self) -> int:
         """Published snapshot swaps."""
-        return self._swaps
+        with self._lock:
+            return self._swaps
 
     @property
     def drained_count(self) -> int:
         """Retired snapshots fully drained of readers."""
-        return self._drained
+        with self._lock:
+            return self._drained
 
     def snapshot_age_seconds(self) -> Optional[float]:
         """Seconds since the last publish (None before the first)."""
@@ -235,17 +268,20 @@ class ServeMetrics:
         age = self.snapshot_age_seconds()
         with self._lock:
             counts = dict(self._query_counts)
-        return {
-            "queries": {"total": self.query_latency.count, "by_kind": counts},
-            "query_latency": self.query_latency.as_dict(),
-            "ingest": {
+            ingest = {
                 "batches": self._ingest_batches,
                 "observations": self._ingest_observations,
                 "errors": self._ingest_errors,
-            },
+            }
+            swaps = self._swaps
+            drained = self._drained
+        return {
+            "queries": {"total": self.query_latency.count, "by_kind": counts},
+            "query_latency": self.query_latency.as_dict(),
+            "ingest": ingest,
             "snapshots": {
-                "swaps": self._swaps,
-                "drained": self._drained,
+                "swaps": swaps,
+                "drained": drained,
                 "age_seconds": age,
             },
             "publish_latency": self.publish_latency.as_dict(),

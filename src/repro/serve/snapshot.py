@@ -46,6 +46,14 @@ from ..fusion.types import ObjectId, SourceId, Value
 
 __all__ = ["Snapshot", "ConflictEntry", "ConflictIndex", "build_conflict_index"]
 
+#: Lock discipline, machine-checked by the ``RA2`` rule of
+#: ``tools/repro_analysis``.  Only the lease-refcount runtime is mutable
+#: after construction; the published arrays need no locks (immutable).
+GUARDED_BY = {
+    "_readers": "_lease_lock",
+    "_retired": "_lease_lock",
+}
+
 _META_FILE = "meta.pkl"
 _STORE_DIR = "store"
 
@@ -399,6 +407,10 @@ class Snapshot:
     # ------------------------------------------------------------------
     # Reader-lease runtime (used by FusionServer's retirement protocol)
     # ------------------------------------------------------------------
+    # Pre-publication initialization: the snapshot is not visible to any
+    # other thread until __init__/__setstate__ returns, so these writes
+    # cannot race (the lock they would take is created right here).
+    # repro-analysis: ignore[RA2]
     def _init_runtime(self) -> None:
         self._lease_lock = threading.Lock()
         self._readers = 0
@@ -428,12 +440,14 @@ class Snapshot:
     @property
     def reader_count(self) -> int:
         """Currently held reader leases."""
-        return self._readers
+        with self._lease_lock:
+            return self._readers
 
     @property
     def retired(self) -> bool:
         """Whether a newer snapshot superseded this one."""
-        return self._retired
+        with self._lease_lock:
+            return self._retired
 
     @property
     def drained(self) -> bool:

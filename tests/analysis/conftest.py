@@ -1,0 +1,27 @@
+"""Fixtures for the static-analysis suite: throwaway mini repo trees."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write ``{relpath: source}`` under a temp root with the repo layout.
+
+    Sources are dedented so fixtures can be written inline as indented
+    triple-quoted strings.  Returns the tree root (a ``Path``).
+    """
+
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        (tmp_path / "tools" / "repro_analysis").mkdir(parents=True, exist_ok=True)
+        return tmp_path
+
+    return build

@@ -1,0 +1,98 @@
+"""Backend parity for the Gibbs sampler: "vectorized" vs "reference".
+
+The two backends consume randomness differently, so parity is
+distributional: on unary graphs (the SLiMFast compilation target) both
+must converge to the same exact softmax marginals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import FactorGraph, GibbsSampler
+from repro.factorgraph.graph import GraphError
+from repro.optim import softmax
+
+
+def indicator(target):
+    return lambda args: 1.0 if args[0] == target else 0.0
+
+
+def unary_graph():
+    """Three independent variables with distinct unary pulls."""
+    graph = FactorGraph()
+    for i, weight in enumerate((1.2, -0.4, 0.7)):
+        graph.add_variable(f"v{i}", ["a", "b", "c"])
+        graph.add_factor([f"v{i}"], indicator("a"), weight_id=f"w{i}", initial_weight=weight)
+    return graph
+
+
+class TestGibbsBackendParity:
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_matches_exact_marginals(self, backend):
+        graph = unary_graph()
+        sampler = GibbsSampler(n_samples=6000, burn_in=200, seed=7, backend=backend)
+        result = sampler.run(graph)
+        for i, weight in enumerate((1.2, -0.4, 0.7)):
+            exact = softmax(np.array([weight, 0.0, 0.0]))
+            for j, value in enumerate(("a", "b", "c")):
+                assert result.marginals[f"v{i}"][value] == pytest.approx(
+                    exact[j], abs=0.03
+                ), f"backend={backend} v{i}[{value}]"
+
+    def test_backends_agree_pairwise(self):
+        graph = unary_graph()
+        results = {
+            backend: GibbsSampler(
+                n_samples=6000, burn_in=200, seed=11, backend=backend
+            ).run(graph)
+            for backend in ("reference", "vectorized")
+        }
+        for name, dist in results["reference"].marginals.items():
+            for value, probability in dist.items():
+                assert results["vectorized"].marginals[name][value] == pytest.approx(
+                    probability, abs=0.04
+                )
+
+    def test_map_assignment_agrees(self):
+        graph = unary_graph()
+        maps = {
+            backend: GibbsSampler(
+                n_samples=4000, burn_in=100, seed=3, backend=backend
+            ).run(graph).map_assignment()
+            for backend in ("reference", "vectorized")
+        }
+        # v1's "b" and "c" are exactly tied, so its argmax is sampling
+        # noise; compare only the variables with a unique mode.
+        for name in ("v0", "v2"):
+            assert maps["reference"][name] == maps["vectorized"][name]
+
+
+class TestGibbsBackendDispatch:
+    def pairwise_graph(self):
+        graph = FactorGraph()
+        graph.add_variable("x", ["a", "b"])
+        graph.add_variable("y", ["a", "b"])
+        graph.add_factor(
+            ["x", "y"], lambda args: 1.0 if args[0] == args[1] else 0.0,
+            weight_id="w", initial_weight=1.0,
+        )
+        return graph
+
+    def test_vectorized_rejects_non_unary(self):
+        with pytest.raises(GraphError, match="unary"):
+            GibbsSampler(n_samples=10, backend="vectorized").run(self.pairwise_graph())
+
+    def test_auto_falls_back_on_non_unary(self):
+        result = GibbsSampler(n_samples=200, burn_in=20, seed=0, backend="auto").run(
+            self.pairwise_graph()
+        )
+        assert set(result.marginals) == {"x", "y"}
+
+    def test_auto_respects_initial_state(self):
+        """auto + initial_state keeps warm-restart (reference) semantics."""
+        graph = unary_graph()
+        state = {f"v{i}": "c" for i in range(3)}
+        result = GibbsSampler(n_samples=50, burn_in=0, seed=5, backend="auto").run(
+            graph, initial_state=state
+        )
+        assert set(result.last_state) == set(state)

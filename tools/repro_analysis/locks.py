@@ -1,0 +1,188 @@
+"""RA2 — lock discipline: ``GUARDED_BY`` attributes stay under their lock.
+
+The serving layer (``repro.serve``) publishes snapshots to concurrent
+reader threads; its correctness argument is "every mutable field is
+only touched under the lock named next to it".  This rule makes that
+argument checkable: a module opts in by declaring a literal table
+
+.. code-block:: python
+
+    GUARDED_BY = {"_published": "_swap_lock", "_version": "_write_lock"}
+
+and every ``self.<attr>`` access to a listed attribute must then occur
+
+* inside a ``with self.<lock>:`` block for the declared lock,
+* inside ``__init__`` / ``__new__`` (the object is not yet shared), or
+* inside a function annotated ``# repro-analysis: holds[<lock>]`` on
+  its ``def`` line — the caller-holds-the-lock contract.
+
+Nested functions do **not** inherit the enclosing scope's held locks:
+a closure may run after the block exits (thread target, callback), so
+each ``def`` starts from only its own ``holds[...]`` annotation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import META_RULE, Finding, Project, SourceFile, rule
+
+RULE_ID = "RA2"
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Functions whose body runs before the object can be shared.
+_CONSTRUCTORS = {"__init__", "__new__"}
+
+
+def _guarded_by_table(source: SourceFile) -> Tuple[Optional[Dict[str, str]], List[Finding]]:
+    """The module-level ``GUARDED_BY`` literal, if declared."""
+    if source.tree is None:
+        return None, []
+    for node in source.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "GUARDED_BY" not in targets:
+            continue
+        if isinstance(node.value, ast.Dict):
+            table: Dict[str, str] = {}
+            ok = True
+            for key, value in zip(node.value.keys, node.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    table[key.value] = value.value
+                else:
+                    ok = False
+            if ok:
+                return table, []
+        return None, [
+            Finding(
+                META_RULE,
+                source.rel,
+                node.lineno,
+                "GUARDED_BY must be a literal {\"attr\": \"lock\"} dict of "
+                "string constants so the analyzer can read it",
+            )
+        ]
+    return None, []
+
+
+def _with_locks(node: ast.AST) -> Set[str]:
+    """Lock names acquired by a ``with`` statement (``with self.<lock>:``)."""
+    locks: Set[str] = set()
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            ctx = item.context_expr
+            if (
+                isinstance(ctx, ast.Attribute)
+                and isinstance(ctx.value, ast.Name)
+                and ctx.value.id == "self"
+            ):
+                locks.add(ctx.attr)
+    return locks
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    """Walks one function body tracking the set of held locks."""
+
+    def __init__(
+        self,
+        source: SourceFile,
+        table: Dict[str, str],
+        held: Set[str],
+        findings: List[Finding],
+        pending: List[Tuple[ast.AST, Set[str]]],
+    ) -> None:
+        self.source = source
+        self.table = table
+        self.held = held
+        self.findings = findings
+        self.pending = pending
+        self.lock_names = set(table.values())
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Closures don't inherit held locks: they may outlive the block.
+        self.pending.append((node, self.source.held_locks_for(node)))
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.pending.append((node, set()))
+
+    def visit_With(self, node: ast.With) -> None:
+        # Only release what this statement newly acquired, so re-entering
+        # a with for an already-held lock doesn't drop it on exit.
+        acquired = (_with_locks(node) & self.lock_names) - self.held
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        self.held |= acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held -= acquired
+
+    visit_AsyncWith = visit_With
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.table
+        ):
+            lock = self.table[node.attr]
+            if lock not in self.held:
+                self.findings.append(
+                    Finding(
+                        RULE_ID,
+                        self.source.rel,
+                        node.lineno,
+                        f"self.{node.attr} is GUARDED_BY {lock!r} but accessed "
+                        f"without holding it — wrap in `with self.{lock}:` or "
+                        f"annotate the def with `# repro-analysis: holds[{lock}]`",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def _check_file(source: SourceFile) -> List[Finding]:
+    table, findings = _guarded_by_table(source)
+    if table is None or source.tree is None:
+        return findings
+    # Seed the work queue with every top-level-of-its-scope function;
+    # nested defs are queued by the checker with a fresh held set.
+    pending: List[Tuple[ast.AST, Set[str]]] = []
+
+    def collect(body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, _FUNC_NODES):
+                pending.append((stmt, source.held_locks_for(stmt)))
+            elif isinstance(stmt, ast.ClassDef):
+                collect(stmt.body)
+
+    collect(source.tree.body)
+    while pending:
+        node, held = pending.pop()
+        name = getattr(node, "name", "<lambda>")
+        if name in _CONSTRUCTORS:
+            continue
+        checker = _FunctionChecker(source, table, set(held), findings, pending)
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for stmt in body:
+            checker.visit(stmt)
+    return findings
+
+
+@rule(RULE_ID, "lock discipline: GUARDED_BY attributes accessed under their lock")
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.lintable_files:
+        findings.extend(_check_file(source))
+    findings.sort(key=lambda f: (f.path, f.line))
+    return findings

@@ -1,0 +1,250 @@
+"""RA4 — cache-version honesty: featurizer edits must bump a version.
+
+``repro.featurize`` persists computed feature blocks in a
+``FeatureCache`` keyed by ``(group name, group version,
+FEATURIZER_VERSION, data fingerprint)``.  The key is only honest if the
+versions actually move when the code they describe changes — otherwise
+a stale cache silently serves features computed by old code.
+
+This rule pins that contract with a lock file
+(``tools/repro_analysis/versions.lock``, JSON) mapping each *entity* to
+a ``(version, source digest)`` pair:
+
+* every ``class`` defined in ``src/repro/featurize/groups.py`` that is
+  (or derives from) ``FeatureGroup``, versioned by its class-level
+  ``version = N`` literal;
+* ``featurize.stats`` — the whole kernel module
+  ``src/repro/featurize/stats.py`` (every group calls into it), which
+  is versioned by ``FEATURIZER_VERSION`` in ``pipeline.py``.
+
+The digest is ``sha256`` of the normalized source segment (trailing
+whitespace stripped, blank lines dropped), truncated to 16 hex chars.
+If a digest moved but its version did not, the rule fails with "bump
+the version"; once the version is bumped (or an entity is added or
+removed), ``--update-lock`` rewrites the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .core import META_RULE, Finding, Project, rule
+
+RULE_ID = "RA4"
+
+GROUPS_PATH = "src/repro/featurize/groups.py"
+STATS_PATH = "src/repro/featurize/stats.py"
+PIPELINE_PATH = "src/repro/featurize/pipeline.py"
+LOCK_NAME = "versions.lock"
+
+#: The aggregate entity for the shared statistic kernels.
+STATS_ENTITY = "featurize.stats"
+
+
+def lock_path(root: Path) -> Path:
+    return Path(root) / "tools" / "repro_analysis" / LOCK_NAME
+
+
+def _digest(lines: List[str]) -> str:
+    normalized = [line.rstrip() for line in lines]
+    payload = "\n".join(line for line in normalized if line)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _segment(lines: List[str], node: ast.AST) -> List[str]:
+    start = min([node.lineno] + [dec.lineno for dec in getattr(node, "decorator_list", [])])
+    end = node.end_lineno or node.lineno
+    return lines[start - 1 : end]
+
+
+def _class_version(node: ast.ClassDef) -> Optional[int]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            if "version" in targets and isinstance(stmt.value, ast.Constant):
+                value = stmt.value.value
+                return value if isinstance(value, int) else None
+    return None
+
+
+def _module_constant(tree: ast.Module, name: str) -> Optional[int]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            if name in targets and isinstance(stmt.value, ast.Constant):
+                value = stmt.value.value
+                return value if isinstance(value, int) else None
+    return None
+
+
+def compute_entities(root: Path) -> Tuple[Dict[str, Dict[str, object]], List[Finding]]:
+    """``{entity: {"version": int, "digest": str}}`` for the live tree.
+
+    Layout-relative so tests can point ``root`` at a miniature tree with
+    the same ``src/repro/featurize`` paths.
+    """
+    root = Path(root)
+    entities: Dict[str, Dict[str, object]] = {}
+    problems: List[Finding] = []
+
+    groups_file = root / GROUPS_PATH
+    if groups_file.is_file():
+        text = groups_file.read_text()
+        lines = text.splitlines()
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as error:
+            problems.append(
+                Finding(META_RULE, GROUPS_PATH, error.lineno or 1, f"does not parse: {error.msg}")
+            )
+        else:
+            group_classes = {"FeatureGroup"}
+            # One pass in file order is enough: subclasses are defined
+            # below their base in this module.
+            for node in tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+                if node.name != "FeatureGroup" and not (bases & group_classes):
+                    continue
+                group_classes.add(node.name)
+                version = _class_version(node)
+                if version is None:
+                    problems.append(
+                        Finding(
+                            RULE_ID,
+                            GROUPS_PATH,
+                            node.lineno,
+                            f"{node.name} needs a class-level integer `version = N` "
+                            f"literal so FeatureCache keys can track it",
+                        )
+                    )
+                    continue
+                entities[f"groups.{node.name}"] = {
+                    "version": version,
+                    "digest": _digest(_segment(lines, node)),
+                }
+    else:
+        problems.append(Finding(META_RULE, GROUPS_PATH, 1, "file not found"))
+
+    stats_file = root / STATS_PATH
+    pipeline_file = root / PIPELINE_PATH
+    if stats_file.is_file() and pipeline_file.is_file():
+        version = None
+        try:
+            version = _module_constant(ast.parse(pipeline_file.read_text()), "FEATURIZER_VERSION")
+        except SyntaxError as error:
+            problems.append(
+                Finding(META_RULE, PIPELINE_PATH, error.lineno or 1, f"does not parse: {error.msg}")
+            )
+        if version is None:
+            problems.append(
+                Finding(
+                    RULE_ID,
+                    PIPELINE_PATH,
+                    1,
+                    "FEATURIZER_VERSION must be a module-level integer literal",
+                )
+            )
+        else:
+            entities[STATS_ENTITY] = {
+                "version": version,
+                "digest": _digest(stats_file.read_text().splitlines()),
+            }
+    else:
+        problems.append(Finding(META_RULE, STATS_PATH, 1, "stats.py/pipeline.py not found"))
+
+    return entities, problems
+
+
+def read_lock(root: Path) -> Optional[Dict[str, Dict[str, object]]]:
+    path = lock_path(root)
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text())
+    return data.get("entities", {})
+
+
+def update_lock(root: Path) -> Tuple[Dict[str, Dict[str, object]], List[Finding]]:
+    """Recompute digests and rewrite the lock file; returns (entities, problems)."""
+    entities, problems = compute_entities(Path(root))
+    payload = {
+        "comment": (
+            "Pinned (version, source digest) per featurizer entity; "
+            "regenerate with `python -m tools.repro_analysis --update-lock`."
+        ),
+        "entities": {name: entities[name] for name in sorted(entities)},
+    }
+    lock_path(root).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return entities, problems
+
+
+@rule(RULE_ID, "cache-version honesty: featurizer source changes bump versions")
+def check(project: Project) -> List[Finding]:
+    entities, findings = compute_entities(project.root)
+    locked = read_lock(project.root)
+    lock_rel = f"tools/repro_analysis/{LOCK_NAME}"
+    if locked is None:
+        findings.append(
+            Finding(
+                RULE_ID,
+                lock_rel,
+                1,
+                "versions.lock missing — generate it with "
+                "`python -m tools.repro_analysis --update-lock`",
+            )
+        )
+        return findings
+
+    for name in sorted(entities):
+        current = entities[name]
+        pinned = locked.get(name)
+        where = STATS_PATH if name == STATS_ENTITY else GROUPS_PATH
+        if pinned is None:
+            findings.append(
+                Finding(
+                    RULE_ID,
+                    lock_rel,
+                    1,
+                    f"new entity {name!r} is not pinned — run --update-lock",
+                )
+            )
+            continue
+        digest_moved = current["digest"] != pinned.get("digest")
+        version_moved = current["version"] != pinned.get("version")
+        if digest_moved and not version_moved:
+            findings.append(
+                Finding(
+                    RULE_ID,
+                    where,
+                    1,
+                    f"source of {name!r} changed but its version is still "
+                    f"{current['version']} — bump the version so FeatureCache "
+                    f"keys change, then run --update-lock",
+                )
+            )
+        elif digest_moved or version_moved:
+            findings.append(
+                Finding(
+                    RULE_ID,
+                    lock_rel,
+                    1,
+                    f"{name!r} was re-versioned (now v{current['version']}) — "
+                    f"refresh the pin with --update-lock",
+                )
+            )
+    for name in sorted(set(locked) - set(entities)):
+        findings.append(
+            Finding(
+                RULE_ID,
+                lock_rel,
+                1,
+                f"pinned entity {name!r} no longer exists — run --update-lock",
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line))
+    return findings
