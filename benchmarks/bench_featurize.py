@@ -78,7 +78,11 @@ def _reference_stats(dataset, half_life: float):
     entropy = {}
     for obj, counter in votes.items():
         first_seen = list(counter)  # insertion order = first-claim order
-        consensus[obj] = max(first_seen, key=lambda v: (counter[v], -first_seen.index(v)))
+        consensus[obj] = max(
+            first_seen,
+            # Bind the loop state as defaults (B023: no loop-var closure).
+            key=lambda v, c=counter, fs=first_seen: (c[v], -fs.index(v)),
+        )
         total = sum(counter.values())
         h = -sum((c / total) * math.log(c / total) for c in counter.values() if c)
         entropy[obj] = h / math.log(max(len(counter), 2))

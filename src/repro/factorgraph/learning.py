@@ -82,7 +82,7 @@ class PseudoLikelihoodLearner:
         n_evidence = len(evidence)
 
         objective = 0.0
-        for epoch in range(self.epochs):
+        for _epoch in range(self.epochs):
             order = rng.permutation(n_evidence)
             objective = 0.0
             for idx in order:
